@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the multilevel partitioner (the KaHIP stand-in
+//! whose running time is the denominator of Table 2 / Table 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tie_bench::workloads::{paper_networks, Scale};
+use tie_partition::{partition, PartitionConfig};
+
+/// Partitioning one network into k blocks for the k values of Table 3
+/// (scaled down: 64 and 128 blocks).
+fn partition_by_k(c: &mut Criterion) {
+    let spec = paper_networks().into_iter().find(|s| s.name == "as-22july06").unwrap();
+    let ga = spec.build(Scale::Tiny);
+    let mut group = c.benchmark_group("partition_by_k");
+    group.sample_size(10);
+    for k in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| partition(&ga, &PartitionConfig::new(k, 3)));
+        });
+    }
+    group.finish();
+}
+
+/// Partitioning time across structurally different networks (Table 3 rows).
+fn partition_by_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_by_network");
+    group.sample_size(10);
+    for spec in paper_networks().iter().take(5) {
+        let ga = spec.build(Scale::Tiny);
+        group.bench_function(spec.name, |b| {
+            b.iter(|| partition(&ga, &PartitionConfig::new(64, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partition_by_k, partition_by_network);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the substrates: partial-cube recognition (the
+//! one-off preprocessing of Section 3), graph generation, and the metric
+//! computations used by the harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tie_bench::workloads::{paper_networks, Scale};
+use tie_graph::generators;
+use tie_mapping::Mapping;
+use tie_metrics::{coco, congestion};
+use tie_topology::{recognize_partial_cube, Topology};
+
+/// Partial-cube recognition of the paper's five topologies (Section 3 claims
+/// O(|Ep|^2); this is a one-off cost per machine).
+fn partial_cube_recognition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_cube_recognition");
+    group.sample_size(10);
+    for topo in Topology::paper_topologies() {
+        group.bench_function(&topo.name, |b| {
+            b.iter(|| recognize_partial_cube(&topo.graph).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Synthetic network generation (workload preparation cost).
+fn generators_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("barabasi_albert_4k", |b| b.iter(|| generators::barabasi_albert(4000, 4, 1)));
+    group.bench_function("rmat_scale12", |b| {
+        b.iter(|| generators::rmat(12, 8, (0.57, 0.19, 0.19, 0.05), 1))
+    });
+    group.bench_function("watts_strogatz_4k", |b| b.iter(|| generators::watts_strogatz(4000, 6, 0.1, 1)));
+    group.finish();
+}
+
+/// Metric evaluation cost (dominates the harness outside of TIMER itself).
+fn metrics_bench(c: &mut Criterion) {
+    let spec = paper_networks().into_iter().find(|s| s.name == "web-Google").unwrap();
+    let ga = spec.build(Scale::Tiny);
+    let topo = Topology::grid2d(8, 8);
+    let assignment: Vec<u32> = (0..ga.num_vertices() as u32).map(|v| v % 64).collect();
+    let mapping = Mapping::new(assignment, 64);
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    group.bench_function("coco", |b| b.iter(|| coco(&ga, &topo.graph, &mapping)));
+    group.bench_function("congestion", |b| b.iter(|| congestion(&ga, &topo.graph, &mapping)));
+    group.finish();
+}
+
+criterion_group!(benches, partial_cube_recognition, generators_bench, metrics_bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates Figures 5a–5d: relative Coco and edge cut after TIMER,
+//! per processor topology, for the experimental cases c1–c4.
+//!
+//! Usage:
+//! `cargo run -p tie-bench --bin figure5 --release -- [--case c1|c2|c3|c4] [--full] [--scale ...] [--reps N] [--nh N]`
+//!
+//! Without `--case`, all four cases are run (Figures 5a, 5b, 5c and 5d).
+
+use tie_bench::experiment::ExperimentCase;
+use tie_bench::harness::{quality_rows, run_sweep};
+use tie_bench::report::format_quality_table;
+use tie_bench::{parse_options, paper_networks, quick_networks};
+use tie_topology::Topology;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_options(&args);
+    let full_networks = args.iter().any(|a| a == "--full" || a == "--all-networks");
+    let paper_topos = args.iter().any(|a| a == "--full" || a == "--paper-topologies");
+    let selected_case = args
+        .iter()
+        .position(|a| a == "--case")
+        .and_then(|i| args.get(i + 1))
+        .map(|c| match c.as_str() {
+            "c1" => ExperimentCase::C1Drb,
+            "c2" => ExperimentCase::C2Identity,
+            "c3" => ExperimentCase::C3GreedyAllC,
+            "c4" => ExperimentCase::C4GreedyMin,
+            other => panic!("unknown case {other:?} (use c1|c2|c3|c4)"),
+        });
+
+    let networks = if full_networks { paper_networks() } else { quick_networks() };
+    let topologies =
+        if paper_topos { Topology::paper_topologies() } else { Topology::small_topologies() };
+
+    let cases: Vec<ExperimentCase> = match selected_case {
+        Some(c) => vec![c],
+        None => ExperimentCase::all().to_vec(),
+    };
+    let figure_letter = |case: ExperimentCase| match case {
+        ExperimentCase::C1Drb => "5a",
+        ExperimentCase::C2Identity => "5b",
+        ExperimentCase::C3GreedyAllC => "5c",
+        ExperimentCase::C4GreedyMin => "5d",
+    };
+
+    println!(
+        "Figure 5: quality results (scale {:?}, reps {}, NH {}, {} networks, {} topologies)\n",
+        options.scale,
+        options.repetitions,
+        options.num_hierarchies,
+        networks.len(),
+        topologies.len()
+    );
+    for case in cases {
+        eprintln!("running case {} ...", case.name());
+        let cells = run_sweep(&networks, &topologies, case, &options);
+        let rows = quality_rows(&cells, &topologies);
+        println!("--- Figure {} — initial mapping: {} ---", figure_letter(case), case.name());
+        println!("{}", format_quality_table(case.id(), &rows));
+    }
+}

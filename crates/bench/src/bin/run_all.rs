@@ -1,0 +1,73 @@
+//! Runs the complete (reduced-scale) evaluation in one go: Table 1, Table 3,
+//! Figures 5a–5d and Table 2. This is the binary EXPERIMENTS.md is generated
+//! from.
+//!
+//! Usage: `cargo run -p tie-bench --bin run_all --release -- [--scale tiny|small|medium] [--reps N] [--nh N]`
+
+use std::time::Instant;
+
+use tie_bench::experiment::ExperimentCase;
+use tie_bench::harness::{quality_rows, run_sweep, timing_rows};
+use tie_bench::report::{format_inventory, format_partition_times, format_quality_table, format_timing_table};
+use tie_bench::{parse_options, quick_networks};
+use tie_partition::{partition, PartitionConfig};
+use tie_topology::Topology;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_options(&args);
+    let networks = quick_networks();
+    let topologies = Topology::small_topologies();
+
+    println!("== TIMER reproduction: reduced-scale evaluation ==");
+    println!(
+        "scale {:?}, {} networks, {} topologies, reps {}, NH {}, eps {}\n",
+        options.scale,
+        networks.len(),
+        topologies.len(),
+        options.repetitions,
+        options.num_hierarchies,
+        options.epsilon
+    );
+
+    // Table 1 (reduced).
+    println!("--- Table 1: benchmark networks ---");
+    let rows: Vec<(String, usize, usize, String)> = networks
+        .iter()
+        .map(|spec| {
+            let g = spec.build(options.scale);
+            (spec.name.to_string(), g.num_vertices(), g.num_edges(), spec.description.to_string())
+        })
+        .collect();
+    println!("{}", format_inventory(&rows));
+
+    // Table 3 (reduced): partition times for k = 64 and k = 128 at this scale.
+    println!("--- Table 3 (scaled): partitioner running times ---");
+    let mut part_rows = Vec::new();
+    for spec in &networks {
+        let g = spec.build(options.scale);
+        let mut times = [0.0f64; 2];
+        for (slot, k) in [(0usize, 64usize), (1, 128)] {
+            let cfg =
+                PartitionConfig { epsilon: options.epsilon, ..PartitionConfig::new(k, spec.seed) };
+            let t = Instant::now();
+            let _ = partition(&g, &cfg);
+            times[slot] = t.elapsed().as_secs_f64();
+        }
+        part_rows.push((spec.name.to_string(), times[0], times[1]));
+    }
+    println!("{}", format_partition_times(&part_rows, ("k=64", "k=128")));
+
+    // Figures 5a-5d and Table 2.
+    let mut per_case = Vec::new();
+    for case in ExperimentCase::all() {
+        eprintln!("running case {} ...", case.name());
+        let cells = run_sweep(&networks, &topologies, case, &options);
+        let rows = quality_rows(&cells, &topologies);
+        println!("--- Figure 5 ({}) ---", case.name());
+        println!("{}", format_quality_table(case.id(), &rows));
+        per_case.push((case, cells));
+    }
+    println!("--- Table 2: running-time quotients ---");
+    println!("{}", format_timing_table(&timing_rows(&per_case, &topologies)));
+}

@@ -1,0 +1,239 @@
+//! The experiment runner: reproduces one cell of the paper's evaluation
+//! (one network × one topology × one experimental case).
+//!
+//! Each case follows the pipeline of Section 7.1:
+//!
+//! 1. partition the application graph into `|Vp|` blocks with ε = 3 %
+//!    (KaHIP in the paper, `tie-partition` here),
+//! 2. construct the initial mapping `µ₁` according to the case
+//!    (c1 = DRB/SCOTCH-like, c2 = IDENTITY, c3 = GREEDYALLC,
+//!    c4 = GREEDYMIN),
+//! 3. run TIMER with `NH` hierarchies to obtain `µ₂`,
+//! 4. report quality metrics for both mappings plus wall-clock times.
+
+use std::time::{Duration, Instant};
+
+use tie_graph::Graph;
+use tie_mapping::{drb, greedy, identity_mapping, Mapping};
+use tie_metrics::{evaluate, MappingQuality};
+use tie_partition::{partition, PartitionConfig};
+use tie_timer::{enhance_mapping, TimerConfig};
+use tie_topology::{recognize_partial_cube, Topology};
+
+/// The four experimental cases of Section 7.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentCase {
+    /// c1: initial mapping from dual recursive bisection (SCOTCH stand-in).
+    C1Drb,
+    /// c2: IDENTITY mapping on top of the partition.
+    C2Identity,
+    /// c3: GREEDYALLC construction.
+    C3GreedyAllC,
+    /// c4: GREEDYMIN construction (LibTopoMap-style construct method).
+    C4GreedyMin,
+}
+
+impl ExperimentCase {
+    /// All four cases in paper order.
+    pub fn all() -> [ExperimentCase; 4] {
+        [
+            ExperimentCase::C1Drb,
+            ExperimentCase::C2Identity,
+            ExperimentCase::C3GreedyAllC,
+            ExperimentCase::C4GreedyMin,
+        ]
+    }
+
+    /// Short name used in reports (matches the paper's figures).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentCase::C1Drb => "c1 (SCOTCH-like DRB)",
+            ExperimentCase::C2Identity => "c2 (IDENTITY)",
+            ExperimentCase::C3GreedyAllC => "c3 (GREEDYALLC)",
+            ExperimentCase::C4GreedyMin => "c4 (GREEDYMIN)",
+        }
+    }
+
+    /// Identifier like `c1`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ExperimentCase::C1Drb => "c1",
+            ExperimentCase::C2Identity => "c2",
+            ExperimentCase::C3GreedyAllC => "c3",
+            ExperimentCase::C4GreedyMin => "c4",
+        }
+    }
+}
+
+/// Parameters shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Number of TIMER hierarchies (`NH`, 50 in the paper).
+    pub num_hierarchies: usize,
+    /// Load imbalance for the partitioner (3 % in the paper).
+    pub epsilon: f64,
+    /// Base seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Worker threads for TIMER's level-1 sweep (1 = paper setting).
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { num_hierarchies: 50, epsilon: 0.03, seed: 1, threads: 1 }
+    }
+}
+
+/// Result of one experiment run.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Quality of the initial mapping `µ₁`.
+    pub initial: MappingQuality,
+    /// Quality of the TIMER-enhanced mapping `µ₂`.
+    pub enhanced: MappingQuality,
+    /// Wall-clock time of the partitioning step.
+    pub partition_time: Duration,
+    /// Wall-clock time of constructing the initial mapping from the partition.
+    pub initial_mapping_time: Duration,
+    /// Wall-clock time of the TIMER enhancement.
+    pub timer_time: Duration,
+    /// Number of hierarchy rounds TIMER accepted.
+    pub hierarchies_accepted: usize,
+}
+
+impl CaseResult {
+    /// `Coco(µ₂) / Coco(µ₁)` — below 1.0 means TIMER improved the mapping.
+    pub fn coco_quotient(&self) -> f64 {
+        if self.initial.coco == 0 {
+            1.0
+        } else {
+            self.enhanced.coco as f64 / self.initial.coco as f64
+        }
+    }
+
+    /// `Cut(µ₂) / Cut(µ₁)`.
+    pub fn cut_quotient(&self) -> f64 {
+        if self.initial.edge_cut == 0 {
+            1.0
+        } else {
+            self.enhanced.edge_cut as f64 / self.initial.edge_cut as f64
+        }
+    }
+
+    /// Time quotient as reported in Table 2: TIMER time divided by the
+    /// baseline time (partitioning for c2–c4, DRB mapping for c1 — the
+    /// caller knows which baseline applies and passes it in).
+    pub fn time_quotient(&self, baseline: Duration) -> f64 {
+        if baseline.is_zero() {
+            f64::INFINITY
+        } else {
+            self.timer_time.as_secs_f64() / baseline.as_secs_f64()
+        }
+    }
+}
+
+/// Runs one experimental case on one (network, topology) pair.
+///
+/// # Panics
+/// Panics if the topology is not a partial cube (all paper topologies are).
+pub fn run_case(
+    ga: &Graph,
+    topology: &Topology,
+    case: ExperimentCase,
+    config: &ExperimentConfig,
+) -> CaseResult {
+    let gp = &topology.graph;
+    let num_pes = gp.num_vertices();
+    let pcube = recognize_partial_cube(gp)
+        .unwrap_or_else(|e| panic!("{} is not a partial cube: {e}", topology.name));
+
+    // Step 1: topology-oblivious partition (KaHIP stand-in).
+    let part_cfg =
+        PartitionConfig { epsilon: config.epsilon, ..PartitionConfig::new(num_pes, config.seed) };
+    let t0 = Instant::now();
+    let part = partition(ga, &part_cfg);
+    let partition_time = t0.elapsed();
+
+    // Step 2: initial mapping µ1.
+    let t1 = Instant::now();
+    let initial_mapping: Mapping = match case {
+        ExperimentCase::C1Drb => drb::drb_mapping(ga, &part, gp, config.seed),
+        ExperimentCase::C2Identity => identity_mapping(&part, num_pes),
+        ExperimentCase::C3GreedyAllC => greedy::greedy_allc_mapping(ga, &part, gp),
+        ExperimentCase::C4GreedyMin => greedy::greedy_min_mapping(ga, &part, gp),
+    };
+    let initial_mapping_time = t1.elapsed();
+
+    // Step 3: TIMER enhancement.
+    let timer_cfg = TimerConfig {
+        num_hierarchies: config.num_hierarchies,
+        seed: config.seed,
+        use_diversity: true,
+        threads: config.threads,
+    };
+    let t2 = Instant::now();
+    let result = enhance_mapping(ga, &pcube, &initial_mapping, timer_cfg);
+    let timer_time = t2.elapsed();
+
+    // Step 4: metrics.
+    let initial = evaluate(ga, gp, &initial_mapping);
+    let enhanced = evaluate(ga, gp, &result.mapping);
+    debug_assert_eq!(initial.coco, result.initial_coco);
+    debug_assert_eq!(enhanced.coco, result.final_coco);
+
+    CaseResult {
+        initial,
+        enhanced,
+        partition_time,
+        initial_mapping_time,
+        timer_time,
+        hierarchies_accepted: result.hierarchies_accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{quick_networks, Scale};
+
+    #[test]
+    fn all_cases_run_and_never_worsen_coco() {
+        let spec = &quick_networks()[0];
+        let ga = spec.build(Scale::Tiny);
+        let topo = Topology::grid2d(4, 4);
+        let config = ExperimentConfig { num_hierarchies: 5, ..Default::default() };
+        for case in ExperimentCase::all() {
+            let r = run_case(&ga, &topo, case, &config);
+            // TIMER accepts rounds by Coco+ (Coco - Div), so plain Coco may
+            // drift up marginally in unlucky runs; anything beyond a few
+            // percent indicates a bug.
+            assert!(
+                r.enhanced.coco as f64 <= r.initial.coco as f64 * 1.05,
+                "{}: TIMER should not worsen Coco materially ({} -> {})",
+                case.name(),
+                r.initial.coco,
+                r.enhanced.coco
+            );
+            assert!(r.coco_quotient() <= 1.05);
+            assert!(r.enhanced.imbalance <= 0.15, "imbalance {}", r.enhanced.imbalance);
+        }
+    }
+
+    #[test]
+    fn case_names_and_ids() {
+        assert_eq!(ExperimentCase::all().len(), 4);
+        assert_eq!(ExperimentCase::C1Drb.id(), "c1");
+        assert!(ExperimentCase::C4GreedyMin.name().contains("GREEDYMIN"));
+    }
+
+    #[test]
+    fn time_quotient_handles_zero_baseline() {
+        let spec = &quick_networks()[1];
+        let ga = spec.build(Scale::Tiny);
+        let topo = Topology::hypercube(4);
+        let config = ExperimentConfig { num_hierarchies: 2, ..Default::default() };
+        let r = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
+        assert!(r.time_quotient(Duration::from_millis(100)).is_finite());
+        assert!(r.time_quotient(Duration::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,247 @@
+//! High-level drivers shared by the report binaries: run a whole
+//! (networks × topologies × repetitions) sweep for one experimental case and
+//! aggregate the results exactly the way Section 7.1 describes.
+
+use std::time::Duration;
+
+use tie_topology::Topology;
+
+use crate::experiment::{run_case, ExperimentCase, ExperimentConfig};
+use crate::report::{QualityRow, TimingRow};
+use crate::stats::{aggregate_summaries, Summary};
+use crate::workloads::{NetworkSpec, Scale};
+
+/// Options for a sweep (shared by the binaries; parsed from the CLI).
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Scale of the synthetic networks.
+    pub scale: Scale,
+    /// Number of repetitions per cell (5 in the paper).
+    pub repetitions: usize,
+    /// TIMER hierarchies per run (50 in the paper).
+    pub num_hierarchies: usize,
+    /// Partitioner imbalance (3 % in the paper).
+    pub epsilon: f64,
+    /// Worker threads for TIMER.
+    pub threads: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            scale: Scale::Small,
+            repetitions: 3,
+            num_hierarchies: 10,
+            epsilon: 0.03,
+            threads: 1,
+        }
+    }
+}
+
+/// Per-network, per-topology raw observations of one case.
+#[derive(Clone, Debug)]
+pub struct CellObservations {
+    /// Network name.
+    pub network: String,
+    /// Topology name.
+    pub topology: String,
+    /// Coco quotients (enhanced / initial), one per repetition.
+    pub coco_quotients: Vec<f64>,
+    /// Cut quotients, one per repetition.
+    pub cut_quotients: Vec<f64>,
+    /// Timer time / baseline time quotients, one per repetition.
+    pub time_quotients: Vec<f64>,
+    /// Partitioning times in seconds, one per repetition.
+    pub partition_seconds: Vec<f64>,
+}
+
+/// Runs one case over all (network, topology) pairs and returns raw
+/// observations.
+pub fn run_sweep(
+    networks: &[NetworkSpec],
+    topologies: &[Topology],
+    case: ExperimentCase,
+    options: &SweepOptions,
+) -> Vec<CellObservations> {
+    let mut cells = Vec::new();
+    for spec in networks {
+        let ga = spec.build(options.scale);
+        for topo in topologies {
+            let mut coco_q = Vec::new();
+            let mut cut_q = Vec::new();
+            let mut time_q = Vec::new();
+            let mut part_s = Vec::new();
+            for rep in 0..options.repetitions {
+                let config = ExperimentConfig {
+                    num_hierarchies: options.num_hierarchies,
+                    epsilon: options.epsilon,
+                    seed: spec.seed.wrapping_mul(31).wrapping_add(rep as u64),
+                    threads: options.threads,
+                };
+                let result = run_case(&ga, topo, case, &config);
+                coco_q.push(result.coco_quotient());
+                cut_q.push(result.cut_quotient());
+                // Baseline for the time quotient: the DRB mapping time for c1
+                // (the paper divides by SCOTCH's mapping time there), the
+                // partitioning time for c2-c4 (divided by KaHIP's time).
+                let baseline: Duration = match case {
+                    ExperimentCase::C1Drb => result.initial_mapping_time,
+                    _ => result.partition_time,
+                };
+                time_q.push(result.time_quotient(baseline));
+                part_s.push(result.partition_time.as_secs_f64());
+            }
+            cells.push(CellObservations {
+                network: spec.name.to_string(),
+                topology: topo.name.clone(),
+                coco_quotients: coco_q,
+                cut_quotients: cut_q,
+                time_quotients: time_q,
+                partition_seconds: part_s,
+            });
+        }
+    }
+    cells
+}
+
+/// Aggregates raw observations into Figure-5-style quality rows: per
+/// topology, the geometric mean over networks of the min/mean/max quotients.
+pub fn quality_rows(cells: &[CellObservations], topologies: &[Topology]) -> Vec<QualityRow> {
+    topologies
+        .iter()
+        .map(|topo| {
+            let per_network_coco: Vec<Summary> = cells
+                .iter()
+                .filter(|c| c.topology == topo.name)
+                .map(|c| Summary::of(&c.coco_quotients))
+                .collect();
+            let per_network_cut: Vec<Summary> = cells
+                .iter()
+                .filter(|c| c.topology == topo.name)
+                .map(|c| Summary::of(&c.cut_quotients))
+                .collect();
+            QualityRow {
+                topology: topo.name.clone(),
+                coco: aggregate_summaries(&per_network_coco),
+                cut: aggregate_summaries(&per_network_cut),
+            }
+        })
+        .collect()
+}
+
+/// Aggregates raw observations of several cases into Table-2-style timing
+/// rows.
+pub fn timing_rows(
+    per_case: &[(ExperimentCase, Vec<CellObservations>)],
+    topologies: &[Topology],
+) -> Vec<TimingRow> {
+    topologies
+        .iter()
+        .map(|topo| {
+            let mut case_entries = Vec::new();
+            for (case, cells) in per_case {
+                let per_network: Vec<Summary> = cells
+                    .iter()
+                    .filter(|c| c.topology == topo.name)
+                    .map(|c| Summary::of(&c.time_quotients))
+                    .collect();
+                case_entries.push((case.id().to_string(), aggregate_summaries(&per_network)));
+            }
+            TimingRow { topology: topo.name.clone(), per_case: case_entries }
+        })
+        .collect()
+}
+
+/// Parses the flags shared by the binaries (`--scale`, `--reps`, `--nh`,
+/// `--threads`, `--full`). Unknown flags are ignored so binaries can add
+/// their own.
+pub fn parse_options(args: &[String]) -> SweepOptions {
+    let mut opts = SweepOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                opts.scale = match args[i + 1].as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => panic!("unknown scale {other:?} (use tiny|small|medium)"),
+                };
+                i += 1;
+            }
+            "--reps" if i + 1 < args.len() => {
+                opts.repetitions = args[i + 1].parse().expect("--reps needs a number");
+                i += 1;
+            }
+            "--nh" if i + 1 < args.len() => {
+                opts.num_hierarchies = args[i + 1].parse().expect("--nh needs a number");
+                i += 1;
+            }
+            "--threads" if i + 1 < args.len() => {
+                opts.threads = args[i + 1].parse().expect("--threads needs a number");
+                i += 1;
+            }
+            "--full" => {
+                // The paper's setting: 5 repetitions, NH = 50.
+                opts.repetitions = 5;
+                opts.num_hierarchies = 50;
+                opts.scale = Scale::Medium;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::quick_networks;
+
+    #[test]
+    fn sweep_and_aggregation_smoke() {
+        let networks = &quick_networks()[..2];
+        let topologies = vec![Topology::grid2d(4, 4), Topology::hypercube(4)];
+        let options = SweepOptions {
+            scale: Scale::Tiny,
+            repetitions: 2,
+            num_hierarchies: 3,
+            epsilon: 0.03,
+            threads: 1,
+        };
+        let cells = run_sweep(networks, &topologies, ExperimentCase::C2Identity, &options);
+        assert_eq!(cells.len(), networks.len() * topologies.len());
+        for cell in &cells {
+            assert_eq!(cell.coco_quotients.len(), 2);
+            // TIMER's accept criterion is Coco+, so plain Coco may worsen by a
+            // small margin in individual runs; on average it improves.
+            assert!(cell.coco_quotients.iter().all(|&q| q > 0.0 && q <= 1.1));
+        }
+        let rows = quality_rows(&cells, &topologies);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.coco.mean <= 1.05, "{}: {}", row.topology, row.coco.mean);
+        }
+        let timing = timing_rows(&[(ExperimentCase::C2Identity, cells)], &topologies);
+        assert_eq!(timing.len(), 2);
+        assert_eq!(timing[0].per_case.len(), 1);
+    }
+
+    #[test]
+    fn parse_options_flags() {
+        let args: Vec<String> =
+            ["--scale", "tiny", "--reps", "7", "--nh", "12", "--threads", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let o = parse_options(&args);
+        assert_eq!(o.scale, Scale::Tiny);
+        assert_eq!(o.repetitions, 7);
+        assert_eq!(o.num_hierarchies, 12);
+        assert_eq!(o.threads, 2);
+        let full = parse_options(&["--full".to_string()]);
+        assert_eq!(full.repetitions, 5);
+        assert_eq!(full.num_hierarchies, 50);
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text table and figure emitters.
+//!
+//! The binaries print the same rows/series the paper reports: Table 1
+//! (network inventory), Table 2 (running-time quotients), Table 3
+//! (partitioner running times), and Figures 5a–5d (relative Coco and Cut per
+//! topology after TIMER). Everything is plain ASCII so the output can be
+//! diffed and pasted into EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+use crate::stats::Summary;
+
+/// One row of a Figure-5-style quality report: relative Cut and Coco
+/// (min/mean/max, geometric means over networks) for one topology.
+#[derive(Clone, Debug)]
+pub struct QualityRow {
+    /// Topology name (e.g. `grid16x16`).
+    pub topology: String,
+    /// Relative edge cut after TIMER (min/mean/max).
+    pub cut: Summary,
+    /// Relative Coco after TIMER (min/mean/max).
+    pub coco: Summary,
+}
+
+/// One row of a Table-2-style timing report.
+#[derive(Clone, Debug)]
+pub struct TimingRow {
+    /// Topology name.
+    pub topology: String,
+    /// Per-case time quotients (min/mean/max), in case order c1..c4.
+    pub per_case: Vec<(String, Summary)>,
+}
+
+/// Formats a Figure-5-like quality table.
+pub fn format_quality_table(case_name: &str, rows: &[QualityRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Relative quality after TIMER — case {case_name} (values < 1.0 mean TIMER improved the metric)");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
+        "topology", "minCut", "Cut", "maxCut", "minCo", "Co", "maxCo"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.4} {:>8.4} {:>8.4}   {:>8.4} {:>8.4} {:>8.4}",
+            row.topology, row.cut.min, row.cut.mean, row.cut.max, row.coco.min, row.coco.mean, row.coco.max
+        );
+    }
+    out
+}
+
+/// Formats a Table-2-like timing table.
+pub fn format_timing_table(rows: &[TimingRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Running-time quotients (TIMER time / baseline time; baseline = DRB mapping for c1, partitioning for c2-c4)"
+    );
+    for row in rows {
+        let _ = writeln!(out, "{}", row.topology);
+        for (case, s) in &row.per_case {
+            let _ = writeln!(
+                out,
+                "    {:<22} qT_min {:>9.4}  qT_mean {:>9.4}  qT_max {:>9.4}",
+                case, s.min, s.mean, s.max
+            );
+        }
+    }
+    out
+}
+
+/// Formats a Table-1-like inventory row set.
+pub fn format_inventory(rows: &[(String, usize, usize, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24} {:>10} {:>12}  {}", "Name", "#vertices", "#edges", "Type");
+    for (name, n, m, kind) in rows {
+        let _ = writeln!(out, "{:<24} {:>10} {:>12}  {}", name, n, m, kind);
+    }
+    out
+}
+
+/// Formats a Table-3-like running-time listing (seconds). `k_labels` names
+/// the two block-count columns (the paper uses k = 256 and k = 512; the
+/// reduced-scale harness uses smaller k).
+pub fn format_partition_times(rows: &[(String, f64, f64)], k_labels: (&str, &str)) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12}",
+        "Name",
+        format!("{} [s]", k_labels.0),
+        format!("{} [s]", k_labels.1)
+    );
+    let mut product_256 = 1.0f64;
+    let mut product_512 = 1.0f64;
+    let mut sum_256 = 0.0f64;
+    let mut sum_512 = 0.0f64;
+    for (name, t256, t512) in rows {
+        let _ = writeln!(out, "{:<24} {:>12.3} {:>12.3}", name, t256, t512);
+        product_256 *= t256.max(1e-9);
+        product_512 *= t512.max(1e-9);
+        sum_256 += t256;
+        sum_512 += t512;
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let _ = writeln!(out, "{:<24} {:>12.3} {:>12.3}", "Arithmetic mean", sum_256 / n, sum_512 / n);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.3} {:>12.3}",
+            "Geometric mean",
+            product_256.powf(1.0 / n),
+            product_512.powf(1.0 / n)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_table_contains_all_rows_and_header() {
+        let rows = vec![
+            QualityRow {
+                topology: "grid16x16".into(),
+                cut: Summary { min: 1.01, mean: 1.05, max: 1.1 },
+                coco: Summary { min: 0.7, mean: 0.8, max: 0.9 },
+            },
+            QualityRow {
+                topology: "8-dimHQ".into(),
+                cut: Summary { min: 1.0, mean: 1.0, max: 1.0 },
+                coco: Summary { min: 0.9, mean: 0.95, max: 1.0 },
+            },
+        ];
+        let s = format_quality_table("c2", &rows);
+        assert!(s.contains("grid16x16"));
+        assert!(s.contains("8-dimHQ"));
+        assert!(s.contains("minCo"));
+        assert!(s.contains("0.8000"));
+    }
+
+    #[test]
+    fn timing_table_lists_cases() {
+        let rows = vec![TimingRow {
+            topology: "torus16x16".into(),
+            per_case: vec![
+                ("c1".into(), Summary { min: 20.0, mean: 21.0, max: 22.0 }),
+                ("c2".into(), Summary { min: 0.5, mean: 0.6, max: 0.7 }),
+            ],
+        }];
+        let s = format_timing_table(&rows);
+        assert!(s.contains("torus16x16"));
+        assert!(s.contains("qT_mean"));
+        assert!(s.contains("21.0000"));
+    }
+
+    #[test]
+    fn inventory_and_partition_times_format() {
+        let inv = format_inventory(&[("net".into(), 100, 200, "test network".into())]);
+        assert!(inv.contains("net") && inv.contains("200"));
+        let times = format_partition_times(
+            &[("net".into(), 1.5, 3.0), ("net2".into(), 2.0, 4.0)],
+            ("k=256", "k=512"),
+        );
+        assert!(times.contains("Geometric mean"));
+        assert!(times.contains("Arithmetic mean"));
+        assert!(times.contains("k=512 [s]"));
+    }
+}

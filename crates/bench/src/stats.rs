@@ -1,0 +1,134 @@
+//! Statistics used by the paper's evaluation protocol (Section 7.1):
+//! min/mean/max over 5 repetitions, quotients "after / before", geometric
+//! means over the benchmark networks and geometric standard deviations.
+
+/// Minimum, arithmetic mean and maximum of a series of repetitions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty slice of observations.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains NaN.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize zero observations");
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN observation");
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Summary { min, mean, max }
+    }
+
+    /// Element-wise quotient `self / base`, the normalization step of the
+    /// paper (each of min/mean/max is divided by the corresponding value
+    /// before the improvement). Zero denominators yield 1.0 (no change).
+    pub fn quotient(&self, base: &Summary) -> Summary {
+        let div = |a: f64, b: f64| if b == 0.0 { 1.0 } else { a / b };
+        Summary {
+            min: div(self.min, base.min),
+            mean: div(self.mean, base.mean),
+            max: div(self.max, base.max),
+        }
+    }
+}
+
+/// Geometric mean of positive values (zeroes are clamped to a tiny epsilon so
+/// a single degenerate observation cannot zero out the whole aggregate).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Geometric standard deviation of positive values.
+pub fn geometric_std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 1.0;
+    }
+    let gm = geometric_mean(values);
+    let var: f64 =
+        values.iter().map(|&v| (v.max(1e-12) / gm).ln().powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt().exp()
+}
+
+/// Geometric mean of the min/mean/max components across networks: the 9
+/// quotient values `qT_min, …, qCo_max` of the paper collapse to 3 values per
+/// metric; this helper aggregates one component across all networks.
+pub fn aggregate_summaries(per_network: &[Summary]) -> Summary {
+    Summary {
+        min: geometric_mean(&per_network.iter().map(|s| s.min).collect::<Vec<_>>()),
+        mean: geometric_mean(&per_network.iter().map(|s| s.mean).collect::<Vec<_>>()),
+        max: geometric_mean(&per_network.iter().map(|s| s.max).collect::<Vec<_>>()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quotient_divides_componentwise() {
+        let a = Summary::of(&[2.0, 4.0]);
+        let b = Summary::of(&[4.0, 8.0]);
+        let q = a.quotient(&b);
+        assert!((q.min - 0.5).abs() < 1e-12);
+        assert!((q.max - 0.5).abs() < 1e-12);
+        assert!((q.mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quotient_with_zero_base() {
+        let a = Summary::of(&[2.0]);
+        let b = Summary::of(&[0.0]);
+        let q = a.quotient(&b);
+        assert_eq!(q.mean, 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn geometric_std_dev_of_constant_series_is_one() {
+        assert!((geometric_std_dev(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!(geometric_std_dev(&[1.0, 10.0]) > 1.0);
+        assert_eq!(geometric_std_dev(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn aggregate_summaries_geomean() {
+        let a = Summary { min: 1.0, mean: 2.0, max: 4.0 };
+        let b = Summary { min: 4.0, mean: 2.0, max: 1.0 };
+        let agg = aggregate_summaries(&[a, b]);
+        assert!((agg.min - 2.0).abs() < 1e-9);
+        assert!((agg.mean - 2.0).abs() < 1e-9);
+        assert!((agg.max - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summary_of_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

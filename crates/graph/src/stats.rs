@@ -1,0 +1,175 @@
+//! Structural statistics of graphs: degree distribution, clustering,
+//! effective diameter estimates. Used by the workload catalogue to document
+//! that the synthetic stand-ins belong to the same structural class as the
+//! paper's real networks (heavy-tailed degrees, short distances).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{Graph, NodeId};
+use crate::traversal::bfs_distances;
+use crate::UNREACHABLE;
+
+/// Summary statistics of a graph's structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient estimated by wedge sampling.
+    pub clustering: f64,
+    /// 90th-percentile BFS distance from sampled sources ("effective
+    /// diameter" estimate).
+    pub effective_diameter: u32,
+}
+
+/// Computes summary statistics. `samples` controls how many BFS sources and
+/// wedges are sampled; statistics are deterministic in `seed`.
+pub fn graph_stats(graph: &Graph, samples: usize, seed: u64) -> GraphStats {
+    let n = graph.num_vertices();
+    let degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+    let min_degree = degrees.iter().copied().min().unwrap_or(0);
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let avg_degree = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+    GraphStats {
+        num_vertices: n,
+        num_edges: graph.num_edges(),
+        min_degree,
+        avg_degree,
+        max_degree,
+        clustering: clustering_coefficient(graph, samples.max(1), seed),
+        effective_diameter: effective_diameter(graph, samples.max(1), seed ^ 0x5bd1e995),
+    }
+}
+
+/// Estimates the global clustering coefficient (fraction of closed wedges) by
+/// sampling `samples` random wedges.
+pub fn clustering_coefficient(graph: &Graph, samples: usize, seed: u64) -> f64 {
+    let candidates: Vec<NodeId> = graph.vertices().filter(|&v| graph.degree(v) >= 2).collect();
+    if candidates.is_empty() {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut closed = 0usize;
+    let mut total = 0usize;
+    for _ in 0..samples {
+        let v = candidates[rng.gen_range(0..candidates.len())];
+        let nbrs = graph.neighbors(v);
+        let a = nbrs[rng.gen_range(0..nbrs.len())];
+        let b = nbrs[rng.gen_range(0..nbrs.len())];
+        if a == b {
+            continue;
+        }
+        total += 1;
+        if graph.has_edge(a, b) {
+            closed += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        closed as f64 / total as f64
+    }
+}
+
+/// Estimates the 90th-percentile shortest-path distance from `samples`
+/// random sources (unreachable pairs are ignored).
+pub fn effective_diameter(graph: &Graph, samples: usize, seed: u64) -> u32 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut distances: Vec<u32> = Vec::new();
+    for _ in 0..samples {
+        let s = rng.gen_range(0..n) as NodeId;
+        distances.extend(bfs_distances(graph, s).into_iter().filter(|&d| d != UNREACHABLE && d > 0));
+    }
+    if distances.is_empty() {
+        return 0;
+    }
+    distances.sort_unstable();
+    distances[(distances.len() as f64 * 0.9) as usize - 1]
+}
+
+/// Degree histogram: entry `d` counts the vertices of degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = generators::complete_graph(10);
+        let s = graph_stats(&g, 200, 1);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 45);
+        assert_eq!(s.min_degree, 9);
+        assert_eq!(s.max_degree, 9);
+        assert!((s.avg_degree - 9.0).abs() < 1e-12);
+        assert!((s.clustering - 1.0).abs() < 1e-12, "complete graph wedges are all closed");
+        assert_eq!(s.effective_diameter, 1);
+    }
+
+    #[test]
+    fn stats_of_cycle() {
+        let g = generators::cycle_graph(20);
+        let s = graph_stats(&g, 100, 2);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.clustering, 0.0, "cycles of length > 3 have no triangles");
+        assert!(s.effective_diameter >= 7 && s.effective_diameter <= 10);
+    }
+
+    #[test]
+    fn heavy_tail_visible_in_ba_graphs() {
+        let g = generators::barabasi_albert(800, 3, 5);
+        let s = graph_stats(&g, 400, 3);
+        assert!(s.max_degree as f64 > 5.0 * s.avg_degree, "BA graphs have hubs");
+        assert!(s.effective_diameter <= 8, "scale-free graphs have short distances");
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = generators::watts_strogatz(100, 4, 0.2, 1);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+        assert_eq!(
+            hist.iter().enumerate().map(|(d, &c)| d * c).sum::<usize>(),
+            2 * g.num_edges()
+        );
+    }
+
+    #[test]
+    fn stats_deterministic_in_seed() {
+        let g = generators::barabasi_albert(300, 3, 7);
+        assert_eq!(graph_stats(&g, 100, 9), graph_stats(&g, 100, 9));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let empty = Graph::from_edges(0, &[]);
+        let s = graph_stats(&empty, 10, 0);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.effective_diameter, 0);
+        let single = Graph::from_edges(1, &[]);
+        let s = graph_stats(&single, 10, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.clustering, 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Induced subgraph extraction.
+
+use crate::csr::{Graph, NodeId};
+use crate::GraphBuilder;
+
+/// Result of extracting an induced subgraph.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced subgraph; vertex `i` corresponds to `to_parent[i]` in the
+    /// original graph.
+    pub graph: Graph,
+    /// Mapping from subgraph vertex id to original vertex id.
+    pub to_parent: Vec<NodeId>,
+}
+
+/// Extracts the subgraph induced by `vertices` (which may be in any order and
+/// may contain duplicates; duplicates are ignored). Vertex and edge weights
+/// are preserved.
+pub fn induced_subgraph(graph: &Graph, vertices: &[NodeId]) -> Subgraph {
+    let n = graph.num_vertices();
+    let mut selected = vec![false; n];
+    for &v in vertices {
+        selected[v as usize] = true;
+    }
+    let mut to_parent: Vec<NodeId> = Vec::new();
+    let mut to_child = vec![NodeId::MAX; n];
+    for v in 0..n as NodeId {
+        if selected[v as usize] {
+            to_child[v as usize] = to_parent.len() as NodeId;
+            to_parent.push(v);
+        }
+    }
+    let mut builder = GraphBuilder::new(to_parent.len());
+    for (child, &parent) in to_parent.iter().enumerate() {
+        builder.set_vertex_weight(child as NodeId, graph.vertex_weight(parent));
+        for (nb, w) in graph.edges_of(parent) {
+            if parent < nb && selected[nb as usize] {
+                builder.add_edge(child as NodeId, to_child[nb as usize], w);
+            }
+        }
+    }
+    Subgraph { graph: builder.build(), to_parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn subgraph_of_grid_quadrant() {
+        let g = generators::grid2d(4, 4);
+        // Top-left 2x2 quadrant: vertices with x < 2 and y < 2.
+        let verts: Vec<NodeId> = vec![0, 1, 4, 5];
+        let sub = induced_subgraph(&g, &verts);
+        assert_eq!(sub.graph.num_vertices(), 4);
+        assert_eq!(sub.graph.num_edges(), 4);
+        assert_eq!(sub.to_parent, verts);
+    }
+
+    #[test]
+    fn subgraph_preserves_weights() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 7);
+        b.add_edge(2, 3, 9);
+        b.set_vertex_weight(1, 3);
+        let g = b.build();
+        let sub = induced_subgraph(&g, &[1, 2]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.edge_weight(0, 1), Some(7));
+        assert_eq!(sub.graph.vertex_weight(0), 3);
+    }
+
+    #[test]
+    fn duplicates_and_empty() {
+        let g = generators::cycle_graph(5);
+        let sub = induced_subgraph(&g, &[2, 2, 3]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+        let empty = induced_subgraph(&g, &[]);
+        assert_eq!(empty.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn full_subgraph_is_isomorphic_copy() {
+        let g = generators::barabasi_albert(50, 2, 3);
+        let all: Vec<NodeId> = g.vertices().collect();
+        let sub = induced_subgraph(&g, &all);
+        assert_eq!(sub.graph, g);
+    }
+}

@@ -1,0 +1,191 @@
+//! Dual recursive bisection (experimental case c1, SCOTCH-style).
+//!
+//! Pellegrini's dual recursive bipartitioning cuts the processor graph and
+//! the communication graph into two parts simultaneously and recurses,
+//! assigning the respective halves to each other. The processor half sizes
+//! dictate the target sizes of the communication-graph halves, so the final
+//! assignment is a bijection.
+
+use tie_graph::{induced_subgraph, Graph, NodeId};
+use tie_partition::multilevel::multilevel_bisection;
+use tie_partition::PartitionConfig;
+
+use crate::Mapping;
+use tie_partition::Partition;
+
+/// Computes a bijection `nu[block] = PE` by dual recursive bisection of the
+/// communication graph `gc` and the processor graph `gp`.
+///
+/// # Panics
+/// Panics if `gc` has more vertices than `gp`.
+pub fn dual_recursive_bisection(gc: &Graph, gp: &Graph, seed: u64) -> Vec<u32> {
+    let k = gc.num_vertices();
+    let p = gp.num_vertices();
+    assert!(k <= p, "communication graph has more vertices ({k}) than there are PEs ({p})");
+    let mut nu = vec![u32::MAX; k];
+    let c_vertices: Vec<NodeId> = gc.vertices().collect();
+    let p_vertices: Vec<NodeId> = gp.vertices().collect();
+    recurse(gc, gp, &c_vertices, &p_vertices, seed, &mut nu);
+    debug_assert!(nu.iter().all(|&x| x != u32::MAX));
+    nu
+}
+
+/// Dual recursive bisection composed with a partition into a vertex-to-PE
+/// [`Mapping`] — the stand-in for SCOTCH's generic mapping routine.
+pub fn drb_mapping(graph: &Graph, partition: &Partition, gp: &Graph, seed: u64) -> Mapping {
+    let gc = crate::communication_graph(graph, partition);
+    let nu = dual_recursive_bisection(&gc, gp, seed);
+    Mapping::from_partition(partition, &nu, gp.num_vertices())
+}
+
+fn recurse(
+    gc: &Graph,
+    gp: &Graph,
+    c_vertices: &[NodeId],
+    p_vertices: &[NodeId],
+    seed: u64,
+    nu: &mut [u32],
+) {
+    if c_vertices.is_empty() {
+        return;
+    }
+    if p_vertices.len() == 1 || c_vertices.len() == 1 {
+        // Assign every remaining communication vertex to the remaining PEs in
+        // order (normally a 1:1 leftover).
+        for (i, &c) in c_vertices.iter().enumerate() {
+            nu[c as usize] = p_vertices[i.min(p_vertices.len() - 1)];
+        }
+        return;
+    }
+
+    // 1. Bisect the processor subset, preferring a balanced structural cut.
+    let p_sub = induced_subgraph(gp, p_vertices);
+    let p_half = (p_vertices.len() / 2) as u64;
+    let p_cfg = PartitionConfig { epsilon: 0.0, ..PartitionConfig::new(2, seed) };
+    let p_bis = multilevel_bisection(&p_sub.graph, p_half, &p_cfg, seed);
+    let (mut p0, mut p1): (Vec<NodeId>, Vec<NodeId>) = (Vec::new(), Vec::new());
+    for (local, &orig) in p_sub.to_parent.iter().enumerate() {
+        if p_bis.side[local] == 0 {
+            p0.push(orig);
+        } else {
+            p1.push(orig);
+        }
+    }
+    // Force exact half sizes (multilevel bisection is heuristic): move the
+    // last vertices of the larger side over. The PE sides only need the right
+    // cardinality; communication quality comes from the Gc side.
+    while p0.len() > p_half as usize {
+        p1.push(p0.pop().unwrap());
+    }
+    while p0.len() < p_half as usize {
+        p0.push(p1.pop().unwrap());
+    }
+
+    // 2. Bisect the communication subset with target sizes matching the PE
+    //    halves (vertex counts, since every block must receive its own PE).
+    let c_sub = induced_subgraph(gc, c_vertices);
+    // Use unit weights for the bisection targets: the bijection needs
+    // cardinality matching, not weight matching.
+    let mut unit = c_sub.graph.clone();
+    unit.set_vertex_weights(vec![1; unit.num_vertices()]);
+    let c_target0 = p0.len().min(c_vertices.len()) as u64;
+    let c_cfg = PartitionConfig { epsilon: 0.0, ..PartitionConfig::new(2, seed ^ 0x9e3779b9) };
+    let c_bis = multilevel_bisection(&unit, c_target0, &c_cfg, seed.wrapping_add(1));
+    let (mut c0, mut c1): (Vec<NodeId>, Vec<NodeId>) = (Vec::new(), Vec::new());
+    for (local, &orig) in c_sub.to_parent.iter().enumerate() {
+        if c_bis.side[local] == 0 {
+            c0.push(orig);
+        } else {
+            c1.push(orig);
+        }
+    }
+    while c0.len() > c_target0 as usize {
+        c1.push(c0.pop().unwrap());
+    }
+    while c0.len() < c_target0 as usize && !c1.is_empty() {
+        c0.push(c1.pop().unwrap());
+    }
+
+    // 3. Recurse on the matched halves.
+    recurse(gc, gp, &c0, &p0, seed.wrapping_add(2), nu);
+    recurse(gc, gp, &c1, &p1, seed.wrapping_add(3), nu);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_graph::generators;
+    use tie_graph::traversal::all_pairs_distances;
+    use tie_topology::Topology;
+
+    fn coco_of_nu(gc: &Graph, gp: &Graph, nu: &[u32]) -> u64 {
+        let dist = all_pairs_distances(gp);
+        gc.edges()
+            .map(|(u, v, w)| w * dist.get(nu[u as usize], nu[v as usize]) as u64)
+            .sum()
+    }
+
+    fn is_injective(nu: &[u32]) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        nu.iter().all(|&p| seen.insert(p))
+    }
+
+    #[test]
+    fn drb_produces_bijection_on_equal_sizes() {
+        let ga = generators::barabasi_albert(500, 3, 7);
+        let gp = Topology::grid2d(4, 4).graph;
+        let part = tie_partition::partition(&ga, &PartitionConfig::new(16, 1));
+        let gc = crate::communication_graph(&ga, &part);
+        let nu = dual_recursive_bisection(&gc, &gp, 11);
+        assert_eq!(nu.len(), 16);
+        assert!(is_injective(&nu));
+        assert!(nu.iter().all(|&p| (p as usize) < 16));
+    }
+
+    #[test]
+    fn drb_exploits_locality_of_structured_comm_graph() {
+        // Communication graph identical to the processor grid: DRB should do
+        // clearly better than a random bijection.
+        let gp = Topology::grid2d(4, 4).graph;
+        let gc = generators::randomize_edge_weights(&generators::grid2d(4, 4), 4, 9);
+        let nu = dual_recursive_bisection(&gc, &gp, 5);
+        let random: Vec<u32> = generators::random_permutation(16, 1);
+        assert!(coco_of_nu(&gc, &gp, &nu) < coco_of_nu(&gc, &gp, &random));
+    }
+
+    #[test]
+    fn drb_mapping_composes_with_partition() {
+        let ga = generators::watts_strogatz(600, 4, 0.05, 2);
+        let topo = Topology::hypercube(4);
+        let part = tie_partition::partition(&ga, &PartitionConfig::new(16, 5));
+        let m = drb_mapping(&ga, &part, &topo.graph, 3);
+        assert_eq!(m.num_tasks(), 600);
+        assert_eq!(m.num_pes(), 16);
+        assert!(m.is_balanced(0.1));
+    }
+
+    #[test]
+    fn drb_handles_fewer_blocks_than_pes() {
+        let gc = generators::cycle_graph(6);
+        let gp = Topology::grid2d(3, 3).graph;
+        let nu = dual_recursive_bisection(&gc, &gp, 0);
+        assert_eq!(nu.len(), 6);
+        assert!(is_injective(&nu));
+        assert!(nu.iter().all(|&p| (p as usize) < 9));
+    }
+
+    #[test]
+    fn drb_single_vertex() {
+        let gc = Graph::from_edges(1, &[]);
+        let gp = generators::path_graph(3);
+        let nu = dual_recursive_bisection(&gc, &gp, 0);
+        assert_eq!(nu.len(), 1);
+    }
+
+    #[test]
+    fn drb_deterministic_in_seed() {
+        let gp = Topology::grid2d(4, 4).graph;
+        let gc = generators::randomize_edge_weights(&generators::grid2d(4, 4), 4, 3);
+        assert_eq!(dual_recursive_bisection(&gc, &gp, 7), dual_recursive_bisection(&gc, &gp, 7));
+    }
+}

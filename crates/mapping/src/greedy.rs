@@ -1,0 +1,327 @@
+//! Greedy construction mappings (experimental cases c3 and c4).
+//!
+//! Both heuristics place the communication-graph vertices onto PEs one at a
+//! time, starting from the heaviest communicator placed on a central PE:
+//!
+//! * **GREEDYALLC** (case c3, the best performer in Glantz et al. 2015):
+//!   the next vertex is the unmapped one with the largest *total*
+//!   communication volume to all already-mapped vertices, and it is placed on
+//!   the free PE minimizing the total communication-weighted distance to all
+//!   already-placed neighbours.
+//! * **GREEDYMIN** (case c4, the construction method of Brandfass et al. as
+//!   used by LibTopoMap): the next vertex is the unmapped one with the
+//!   heaviest *single* edge to an already-mapped vertex, and it is placed on
+//!   the free PE closest to that single neighbour's PE (communication-weighted
+//!   distance to all placed neighbours breaks ties).
+
+use tie_graph::traversal::{all_pairs_distances, DistanceMatrix};
+use tie_graph::{Graph, NodeId, Weight};
+use tie_partition::Partition;
+
+use crate::Mapping;
+
+/// Which greedy variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Variant {
+    AllC,
+    Min,
+}
+
+/// GREEDYALLC: returns the bijection `nu[block] = PE`.
+pub fn greedy_allc(gc: &Graph, gp: &Graph) -> Vec<u32> {
+    greedy_construct(gc, gp, Variant::AllC)
+}
+
+/// GREEDYMIN: returns the bijection `nu[block] = PE`.
+pub fn greedy_min(gc: &Graph, gp: &Graph) -> Vec<u32> {
+    greedy_construct(gc, gp, Variant::Min)
+}
+
+/// GREEDYALLC composed with a partition into a full vertex-to-PE [`Mapping`].
+pub fn greedy_allc_mapping(graph: &Graph, partition: &Partition, gp: &Graph) -> Mapping {
+    let gc = crate::communication_graph(graph, partition);
+    let nu = greedy_allc(&gc, gp);
+    Mapping::from_partition(partition, &nu, gp.num_vertices())
+}
+
+/// GREEDYMIN composed with a partition into a full vertex-to-PE [`Mapping`].
+pub fn greedy_min_mapping(graph: &Graph, partition: &Partition, gp: &Graph) -> Mapping {
+    let gc = crate::communication_graph(graph, partition);
+    let nu = greedy_min(&gc, gp);
+    Mapping::from_partition(partition, &nu, gp.num_vertices())
+}
+
+fn greedy_construct(gc: &Graph, gp: &Graph, variant: Variant) -> Vec<u32> {
+    let k = gc.num_vertices();
+    let p = gp.num_vertices();
+    assert!(k <= p, "communication graph has more vertices ({k}) than there are PEs ({p})");
+    if k == 0 {
+        return Vec::new();
+    }
+    let dist = all_pairs_distances(gp);
+
+    let mut nu = vec![u32::MAX; k];
+    let mut pe_used = vec![false; p];
+    let mut mapped = vec![false; k];
+
+    // Seed: heaviest communicator onto the most central PE.
+    let vc0 = (0..k as NodeId)
+        .max_by_key(|&v| gc.weighted_degree(v))
+        .unwrap_or(0);
+    let vp0 = (0..p as NodeId)
+        .min_by_key(|&q| total_distance(&dist, q, p))
+        .unwrap_or(0);
+    nu[vc0 as usize] = vp0;
+    pe_used[vp0 as usize] = true;
+    mapped[vc0 as usize] = true;
+
+    for _ in 1..k {
+        // Select the next communication-graph vertex.
+        let vc = match variant {
+            Variant::AllC => select_max_total(gc, &mapped),
+            Variant::Min => select_max_single(gc, &mapped),
+        };
+        // Select its PE.
+        let vp = match variant {
+            Variant::AllC => select_pe_allc(gc, &dist, &nu, &pe_used, vc, p),
+            Variant::Min => select_pe_min(gc, &dist, &nu, &pe_used, vc, p),
+        };
+        nu[vc as usize] = vp;
+        pe_used[vp as usize] = true;
+        mapped[vc as usize] = true;
+    }
+    nu
+}
+
+fn total_distance(dist: &DistanceMatrix, from: NodeId, n: usize) -> u64 {
+    (0..n as NodeId).map(|t| dist.get(from, t) as u64).sum()
+}
+
+/// Unmapped vertex with the largest total edge weight to mapped vertices
+/// (fallback: largest weighted degree).
+fn select_max_total(gc: &Graph, mapped: &[bool]) -> NodeId {
+    let mut best: Option<(NodeId, Weight, Weight)> = None; // (v, to_mapped, wdeg)
+    for v in gc.vertices() {
+        if mapped[v as usize] {
+            continue;
+        }
+        let to_mapped: Weight =
+            gc.edges_of(v).filter(|&(u, _)| mapped[u as usize]).map(|(_, w)| w).sum();
+        let wdeg = gc.weighted_degree(v);
+        let better = match best {
+            None => true,
+            Some((_, bt, bw)) => to_mapped > bt || (to_mapped == bt && wdeg > bw),
+        };
+        if better {
+            best = Some((v, to_mapped, wdeg));
+        }
+    }
+    best.expect("at least one unmapped vertex").0
+}
+
+/// Unmapped vertex with the heaviest single edge to a mapped vertex
+/// (fallback: largest weighted degree).
+fn select_max_single(gc: &Graph, mapped: &[bool]) -> NodeId {
+    let mut best: Option<(NodeId, Weight, Weight)> = None; // (v, max_edge, wdeg)
+    for v in gc.vertices() {
+        if mapped[v as usize] {
+            continue;
+        }
+        let max_edge: Weight = gc
+            .edges_of(v)
+            .filter(|&(u, _)| mapped[u as usize])
+            .map(|(_, w)| w)
+            .max()
+            .unwrap_or(0);
+        let wdeg = gc.weighted_degree(v);
+        let better = match best {
+            None => true,
+            Some((_, bm, bw)) => max_edge > bm || (max_edge == bm && wdeg > bw),
+        };
+        if better {
+            best = Some((v, max_edge, wdeg));
+        }
+    }
+    best.expect("at least one unmapped vertex").0
+}
+
+/// Communication-weighted total distance of PE `q` to the PEs of `vc`'s
+/// already-mapped neighbours.
+fn weighted_distance_to_mapped(
+    gc: &Graph,
+    dist: &DistanceMatrix,
+    nu: &[u32],
+    vc: NodeId,
+    q: NodeId,
+) -> u64 {
+    gc.edges_of(vc)
+        .filter(|&(u, _)| nu[u as usize] != u32::MAX)
+        .map(|(u, w)| w * dist.get(q, nu[u as usize]) as u64)
+        .sum()
+}
+
+/// PE choice for GREEDYALLC: minimal communication-weighted distance to all
+/// placed neighbours; ties broken by total distance to all used PEs, so that
+/// the mapping stays compact even when `vc` has no placed neighbours yet.
+fn select_pe_allc(
+    gc: &Graph,
+    dist: &DistanceMatrix,
+    nu: &[u32],
+    pe_used: &[bool],
+    vc: NodeId,
+    p: usize,
+) -> u32 {
+    let mut best: Option<(u32, u64, u64)> = None;
+    for q in 0..p as NodeId {
+        if pe_used[q as usize] {
+            continue;
+        }
+        let primary = weighted_distance_to_mapped(gc, dist, nu, vc, q);
+        let secondary: u64 = (0..p as NodeId)
+            .filter(|&t| pe_used[t as usize])
+            .map(|t| dist.get(q, t) as u64)
+            .sum();
+        let better = match best {
+            None => true,
+            Some((_, bp, bs)) => primary < bp || (primary == bp && secondary < bs),
+        };
+        if better {
+            best = Some((q, primary, secondary));
+        }
+    }
+    best.expect("at least one free PE").0
+}
+
+/// PE choice for GREEDYMIN: minimal distance to the PE of the single
+/// heaviest placed neighbour; communication-weighted distance breaks ties.
+fn select_pe_min(
+    gc: &Graph,
+    dist: &DistanceMatrix,
+    nu: &[u32],
+    pe_used: &[bool],
+    vc: NodeId,
+    p: usize,
+) -> u32 {
+    // The heaviest already-placed neighbour (if any).
+    let anchor = gc
+        .edges_of(vc)
+        .filter(|&(u, _)| nu[u as usize] != u32::MAX)
+        .max_by_key(|&(_, w)| w)
+        .map(|(u, _)| nu[u as usize]);
+    let mut best: Option<(u32, u64, u64)> = None;
+    for q in 0..p as NodeId {
+        if pe_used[q as usize] {
+            continue;
+        }
+        let primary = match anchor {
+            Some(a) => dist.get(q, a) as u64,
+            None => (0..p as NodeId)
+                .filter(|&t| pe_used[t as usize])
+                .map(|t| dist.get(q, t) as u64)
+                .sum(),
+        };
+        let secondary = weighted_distance_to_mapped(gc, dist, nu, vc, q);
+        let better = match best {
+            None => true,
+            Some((_, bp, bs)) => primary < bp || (primary == bp && secondary < bs),
+        };
+        if better {
+            best = Some((q, primary, secondary));
+        }
+    }
+    best.expect("at least one free PE").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_graph::generators;
+    use tie_partition::PartitionConfig;
+    use tie_topology::Topology;
+
+    /// Coco of a bijection nu on the communication graph.
+    fn coco_of_nu(gc: &Graph, gp: &Graph, nu: &[u32]) -> u64 {
+        let dist = all_pairs_distances(gp);
+        gc.edges()
+            .map(|(u, v, w)| w * dist.get(nu[u as usize], nu[v as usize]) as u64)
+            .sum()
+    }
+
+    fn is_injective(nu: &[u32]) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        nu.iter().all(|&p| seen.insert(p))
+    }
+
+    #[test]
+    fn both_variants_produce_injective_mappings() {
+        let ga = generators::barabasi_albert(600, 3, 1);
+        let gp = Topology::grid2d(4, 4).graph;
+        let part = tie_partition::partition(&ga, &PartitionConfig::new(16, 3));
+        let gc = crate::communication_graph(&ga, &part);
+        for nu in [greedy_allc(&gc, &gp), greedy_min(&gc, &gp)] {
+            assert_eq!(nu.len(), 16);
+            assert!(is_injective(&nu));
+            assert!(nu.iter().all(|&p| (p as usize) < 16));
+        }
+    }
+
+    #[test]
+    fn greedy_beats_random_mapping_on_structured_comm_graph() {
+        // Communication graph = a 2D grid (strong locality); the processor
+        // graph is the same grid. Greedy construction should achieve a far
+        // lower Coco than a scrambled bijection.
+        let gp = Topology::grid2d(4, 4).graph;
+        let gc = generators::randomize_edge_weights(&generators::grid2d(4, 4), 5, 2);
+        let nu_allc = greedy_allc(&gc, &gp);
+        let nu_min = greedy_min(&gc, &gp);
+        let scrambled: Vec<u32> = tie_graph::generators::random_permutation(16, 3);
+        let c_allc = coco_of_nu(&gc, &gp, &nu_allc);
+        let c_min = coco_of_nu(&gc, &gp, &nu_min);
+        let c_rand = coco_of_nu(&gc, &gp, &scrambled);
+        assert!(c_allc < c_rand, "allc {c_allc} should beat random {c_rand}");
+        assert!(c_min < c_rand, "min {c_min} should beat random {c_rand}");
+    }
+
+    #[test]
+    fn seed_vertex_is_heaviest_communicator_on_central_pe() {
+        // Star communication graph: the centre must be placed first, on the
+        // centre of a path processor graph.
+        let mut b = tie_graph::GraphBuilder::new(5);
+        for leaf in 1..5u32 {
+            b.add_edge(0, leaf, 10);
+        }
+        let gc = b.build();
+        let gp = generators::path_graph(5);
+        let nu = greedy_allc(&gc, &gp);
+        // Centre of a 5-path is vertex 2.
+        assert_eq!(nu[0], 2);
+        assert!(is_injective(&nu));
+    }
+
+    #[test]
+    fn full_mapping_helpers_balance() {
+        let ga = generators::watts_strogatz(800, 6, 0.1, 5);
+        let gp = Topology::hypercube(4).graph;
+        let part = tie_partition::partition(&ga, &PartitionConfig::new(16, 9));
+        let m1 = greedy_allc_mapping(&ga, &part, &gp);
+        let m2 = greedy_min_mapping(&ga, &part, &gp);
+        assert_eq!(m1.num_tasks(), 800);
+        assert!(m1.is_balanced(0.1));
+        assert!(m2.is_balanced(0.1));
+        // Same partition, hence identical load distributions up to PE renaming.
+        let mut l1 = m1.load_per_pe();
+        let mut l2 = m2.load_per_pe();
+        l1.sort_unstable();
+        l2.sort_unstable();
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn single_block_case() {
+        let gc = Graph::from_edges(1, &[]);
+        let gp = generators::path_graph(4);
+        let nu = greedy_allc(&gc, &gp);
+        assert_eq!(nu.len(), 1);
+        assert!((nu[0] as usize) < 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! The IDENTITY mapping (experimental case c2).
+//!
+//! Block `i` of the application-graph partition is assigned to PE `i` of the
+//! processor graph. As the paper notes, this trivial bijection often performs
+//! surprisingly well because multilevel partitioners number blocks with
+//! spatial locality (consecutive blocks tend to be adjacent), which matches
+//! the locality of grid-like processor numberings.
+
+use tie_partition::Partition;
+
+use crate::Mapping;
+
+/// Maps block `i` to PE `i`.
+///
+/// # Panics
+/// Panics if the partition has more blocks than there are PEs.
+pub fn identity_mapping(partition: &Partition, num_pes: usize) -> Mapping {
+    assert!(
+        partition.k() <= num_pes,
+        "identity mapping needs at least as many PEs as blocks ({} > {num_pes})",
+        partition.k()
+    );
+    let nu: Vec<u32> = (0..partition.k() as u32).collect();
+    Mapping::from_partition(partition, &nu, num_pes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_graph::generators;
+    use tie_partition::PartitionConfig;
+
+    #[test]
+    fn identity_is_identity_on_blocks() {
+        let g = generators::grid2d(8, 8);
+        let p = tie_partition::partition(&g, &PartitionConfig::new(16, 0));
+        let m = identity_mapping(&p, 16);
+        for v in g.vertices() {
+            assert_eq!(m.pe_of(v), p.block_of(v));
+        }
+        assert!(m.is_balanced(0.03 + 0.05));
+    }
+
+    #[test]
+    fn identity_with_more_pes_than_blocks() {
+        let p = Partition::new(vec![0, 1, 1, 0], 2);
+        let m = identity_mapping(&p, 8);
+        assert_eq!(m.num_pes(), 8);
+        assert_eq!(m.load_per_pe(), vec![2, 2, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn identity_rejects_too_few_pes() {
+        let p = Partition::new(vec![0, 1, 2], 3);
+        let _ = identity_mapping(&p, 2);
+    }
+}

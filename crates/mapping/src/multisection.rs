@@ -1,0 +1,186 @@
+//! Recursive multisection mapping guided by the topology's own hierarchy.
+//!
+//! The related-work section of the paper describes recursive multisection
+//! (Chan et al., Jeannot et al., Schulz & Träff) as the natural approach when
+//! the parallel machine is *hierarchically organized*: model the hierarchy of
+//! the topology as a tree and partition the communication graph according to
+//! the tree's fan-out, level by level. For a partial cube the label digits
+//! provide exactly such a hierarchy (Section 2 of the paper), so this module
+//! implements multisection on top of the digit hierarchy: at each level the
+//! current group of communication vertices is bisected with target sizes
+//! matching the two halves of the PE group (vertices whose label digit is 0
+//! or 1). The result is another initial-mapping baseline, complementary to
+//! DRB (which bisects the processor graph structurally instead of by digits).
+
+use tie_graph::{induced_subgraph, Graph, NodeId};
+use tie_partition::multilevel::multilevel_bisection;
+use tie_partition::{Partition, PartitionConfig};
+use tie_topology::PartialCubeLabeling;
+
+use crate::Mapping;
+
+/// Computes a bijection `nu[block] = PE` by recursive multisection along the
+/// digits of the partial-cube labelling (most significant digit first).
+///
+/// # Panics
+/// Panics if `gc` has more vertices than there are PEs.
+pub fn multisection(gc: &Graph, pcube: &PartialCubeLabeling, seed: u64) -> Vec<u32> {
+    let k = gc.num_vertices();
+    let p = pcube.num_pes();
+    assert!(k <= p, "communication graph has more vertices ({k}) than there are PEs ({p})");
+    let mut nu = vec![u32::MAX; k];
+    let c_vertices: Vec<NodeId> = gc.vertices().collect();
+    let pe_ids: Vec<u32> = (0..p as u32).collect();
+    recurse(gc, pcube, &c_vertices, &pe_ids, pcube.dim, seed, &mut nu);
+    debug_assert!(nu.iter().all(|&x| x != u32::MAX));
+    nu
+}
+
+/// Multisection composed with a partition into a full vertex-to-PE [`Mapping`].
+pub fn multisection_mapping(
+    graph: &Graph,
+    partition: &Partition,
+    pcube: &PartialCubeLabeling,
+    seed: u64,
+) -> Mapping {
+    let gc = crate::communication_graph(graph, partition);
+    let nu = multisection(&gc, pcube, seed);
+    Mapping::from_partition(partition, &nu, pcube.num_pes())
+}
+
+fn recurse(
+    gc: &Graph,
+    pcube: &PartialCubeLabeling,
+    c_vertices: &[NodeId],
+    pes: &[u32],
+    digit: usize,
+    seed: u64,
+    nu: &mut [u32],
+) {
+    if c_vertices.is_empty() {
+        return;
+    }
+    if pes.len() == 1 || c_vertices.len() == 1 || digit == 0 {
+        for (i, &c) in c_vertices.iter().enumerate() {
+            nu[c as usize] = pes[i.min(pes.len() - 1)];
+        }
+        return;
+    }
+    // Split the PE group by the current label digit. Digits that do not
+    // separate this group are skipped (recursion on the next digit).
+    let bit = digit - 1;
+    let (p0, p1): (Vec<u32>, Vec<u32>) =
+        pes.iter().partition(|&&pe| (pcube.labels[pe as usize] >> bit) & 1 == 0);
+    if p0.is_empty() || p1.is_empty() {
+        recurse(gc, pcube, c_vertices, pes, digit - 1, seed, nu);
+        return;
+    }
+
+    // Bisect the communication subset with cardinality targets matching the
+    // PE halves.
+    let c_sub = induced_subgraph(gc, c_vertices);
+    let mut unit = c_sub.graph.clone();
+    unit.set_vertex_weights(vec![1; unit.num_vertices()]);
+    let share0 = (c_vertices.len() * p0.len() + pes.len() - 1) / pes.len();
+    let target0 = share0.min(c_vertices.len()).min(p0.len()) as u64;
+    let cfg = PartitionConfig { epsilon: 0.0, ..PartitionConfig::new(2, seed) };
+    let bis = multilevel_bisection(&unit, target0, &cfg, seed);
+    let (mut c0, mut c1): (Vec<NodeId>, Vec<NodeId>) = (Vec::new(), Vec::new());
+    for (local, &orig) in c_sub.to_parent.iter().enumerate() {
+        if bis.side[local] == 0 {
+            c0.push(orig);
+        } else {
+            c1.push(orig);
+        }
+    }
+    // Cardinality fix-up: each side may receive at most as many communication
+    // vertices as it has PEs.
+    while c0.len() > p0.len() {
+        c1.push(c0.pop().unwrap());
+    }
+    while c1.len() > p1.len() {
+        c0.push(c1.pop().unwrap());
+    }
+    recurse(gc, pcube, &c0, &p0, digit - 1, seed.wrapping_add(1), nu);
+    recurse(gc, pcube, &c1, &p1, digit - 1, seed.wrapping_add(2), nu);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_graph::generators;
+    use tie_graph::traversal::all_pairs_distances;
+    use tie_topology::{recognize_partial_cube, Topology};
+
+    fn coco_of_nu(gc: &Graph, gp: &Graph, nu: &[u32]) -> u64 {
+        let dist = all_pairs_distances(gp);
+        gc.edges()
+            .map(|(u, v, w)| w * dist.get(nu[u as usize], nu[v as usize]) as u64)
+            .sum()
+    }
+
+    fn is_injective(nu: &[u32]) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        nu.iter().all(|&p| seen.insert(p))
+    }
+
+    #[test]
+    fn multisection_is_a_bijection_on_equal_sizes() {
+        let ga = generators::barabasi_albert(600, 3, 2);
+        let topo = Topology::grid2d(4, 4);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let part = tie_partition::partition(&ga, &PartitionConfig::new(16, 4));
+        let gc = crate::communication_graph(&ga, &part);
+        let nu = multisection(&gc, &pcube, 7);
+        assert_eq!(nu.len(), 16);
+        assert!(is_injective(&nu));
+        assert!(nu.iter().all(|&p| (p as usize) < 16));
+    }
+
+    #[test]
+    fn multisection_exploits_locality() {
+        let topo = Topology::grid2d(4, 4);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let gc = generators::randomize_edge_weights(&generators::grid2d(4, 4), 5, 1);
+        let nu = multisection(&gc, &pcube, 3);
+        let random: Vec<u32> = generators::random_permutation(16, 9);
+        assert!(
+            coco_of_nu(&gc, &topo.graph, &nu) < coco_of_nu(&gc, &topo.graph, &random),
+            "multisection should beat a random bijection on a structured communication graph"
+        );
+    }
+
+    #[test]
+    fn multisection_on_hypercube_and_torus() {
+        let ga = generators::watts_strogatz(512, 6, 0.1, 3);
+        for topo in [Topology::hypercube(4), Topology::torus2d(4, 4)] {
+            let pcube = recognize_partial_cube(&topo.graph).unwrap();
+            let part = tie_partition::partition(&ga, &PartitionConfig::new(16, 2));
+            let m = multisection_mapping(&ga, &part, &pcube, 5);
+            assert_eq!(m.num_tasks(), 512);
+            assert!(m.is_balanced(0.1), "{}", topo.name);
+            let nu_check: std::collections::HashSet<u32> =
+                (0..16u32).map(|b| m.pe_of(ga.vertices().find(|&v| part.block_of(v) == b).unwrap())).collect();
+            assert_eq!(nu_check.len(), 16, "{}: block-to-PE map must stay injective", topo.name);
+        }
+    }
+
+    #[test]
+    fn multisection_with_fewer_blocks_than_pes() {
+        let gc = generators::cycle_graph(5);
+        let topo = Topology::grid2d(3, 3);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let nu = multisection(&gc, &pcube, 1);
+        assert_eq!(nu.len(), 5);
+        assert!(is_injective(&nu));
+        assert!(nu.iter().all(|&p| (p as usize) < 9));
+    }
+
+    #[test]
+    fn multisection_deterministic() {
+        let topo = Topology::grid2d(4, 4);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let gc = generators::randomize_edge_weights(&generators::grid2d(4, 4), 5, 2);
+        assert_eq!(multisection(&gc, &pcube, 11), multisection(&gc, &pcube, 11));
+    }
+}

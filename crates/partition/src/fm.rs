@@ -1,0 +1,231 @@
+//! Boundary Fiduccia–Mattheyses (FM) refinement for bisections.
+//!
+//! Classic FM with gain buckets: in each pass, boundary vertices are inserted
+//! into a [`tie_graph::bucket_queue::BucketQueue`]; repeatedly the
+//! highest-gain vertex whose move keeps the bisection within the balance
+//! bound is moved (and locked), neighbour gains are updated, and at the end
+//! of the pass the best prefix of moves is kept. Passes repeat until no
+//! improvement is found or the pass limit is reached.
+
+use tie_graph::bucket_queue::BucketQueue;
+use tie_graph::{Gain, Graph, NodeId, Weight};
+
+use crate::initial::Bisection;
+
+/// Balance bound for one side: the largest integer weight not exceeding
+/// `(1 + eps) * target` (and at least `target`, so a perfectly balanced side
+/// is always feasible). Using `floor` keeps this consistent with
+/// [`crate::Partition::is_balanced`].
+fn max_weight(target: Weight, eps: f64) -> Weight {
+    ((((target as f64) * (1.0 + eps)).floor() as Weight).max(target)).max(1)
+}
+
+/// Gain of moving `v` to the other side: external minus internal connectivity.
+fn move_gain(graph: &Graph, side: &[u8], v: NodeId) -> Gain {
+    let sv = side[v as usize];
+    let mut gain: Gain = 0;
+    for (u, w) in graph.edges_of(v) {
+        if side[u as usize] == sv {
+            gain -= w as Gain;
+        } else {
+            gain += w as Gain;
+        }
+    }
+    gain
+}
+
+/// True if `v` has at least one neighbour on the other side.
+fn is_boundary(graph: &Graph, side: &[u8], v: NodeId) -> bool {
+    let sv = side[v as usize];
+    graph.neighbors(v).iter().any(|&u| side[u as usize] != sv)
+}
+
+/// Runs up to `max_passes` FM passes on `bisection`, refining it in place.
+/// `target0`/`target1` are the desired side weights and `eps` the allowed
+/// relative overshoot. Returns the total cut improvement.
+pub fn refine_bisection(
+    graph: &Graph,
+    bisection: &mut Bisection,
+    target0: Weight,
+    target1: Weight,
+    eps: f64,
+    max_passes: usize,
+) -> Weight {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let max0 = max_weight(target0, eps);
+    let max1 = max_weight(target1, eps);
+    let max_gain = graph.vertices().map(|v| graph.weighted_degree(v)).max().unwrap_or(1) as Gain;
+    let initial_cut = bisection.cut;
+
+    for _ in 0..max_passes {
+        let mut queue = BucketQueue::new(n, max_gain);
+        let mut locked = vec![false; n];
+        for v in graph.vertices() {
+            if is_boundary(graph, &bisection.side, v) {
+                queue.insert(v, move_gain(graph, &bisection.side, v));
+            }
+        }
+
+        // Move log for rollback: (vertex, cut_after, weight0_after).
+        let mut moves: Vec<NodeId> = Vec::new();
+        let mut cut_after: Vec<Weight> = Vec::new();
+        let mut best_cut = bisection.cut;
+        let mut best_prefix = 0usize;
+        let mut cur_cut = bisection.cut;
+        let (mut w0, mut w1) = (bisection.weight0, bisection.weight1);
+        let mut best_w = (w0, w1);
+
+        while let Some((v, gain)) = queue.pop_max() {
+            if locked[v as usize] {
+                continue;
+            }
+            let vw = graph.vertex_weight(v);
+            let from0 = bisection.side[v as usize] == 0;
+            // Feasibility of the move w.r.t. the balance bound.
+            let feasible = if from0 { w1 + vw <= max1 } else { w0 + vw <= max0 };
+            if !feasible {
+                continue; // dropped; it may re-enter in a later pass
+            }
+            // Apply the move. The bucket gain may be stale due to clamping,
+            // so recompute the exact gain for the cut bookkeeping.
+            let exact_gain = move_gain(graph, &bisection.side, v);
+            let _ = gain;
+            bisection.side[v as usize] ^= 1;
+            locked[v as usize] = true;
+            if from0 {
+                w0 -= vw;
+                w1 += vw;
+            } else {
+                w1 -= vw;
+                w0 += vw;
+            }
+            cur_cut = (cur_cut as i64 - exact_gain) as Weight;
+            moves.push(v);
+            cut_after.push(cur_cut);
+            if cur_cut < best_cut {
+                best_cut = cur_cut;
+                best_prefix = moves.len();
+                best_w = (w0, w1);
+            }
+            // Update neighbour gains.
+            for &u in graph.neighbors(v) {
+                if locked[u as usize] {
+                    continue;
+                }
+                let g = move_gain(graph, &bisection.side, u);
+                if queue.contains(u) {
+                    queue.update_gain(u, g);
+                } else if is_boundary(graph, &bisection.side, u) {
+                    queue.insert(u, g);
+                }
+            }
+        }
+
+        // Roll back every move after the best prefix.
+        for &v in moves.iter().skip(best_prefix).rev() {
+            bisection.side[v as usize] ^= 1;
+        }
+        if best_prefix == 0 {
+            // No improvement this pass; stop.
+            break;
+        }
+        bisection.cut = best_cut;
+        bisection.weight0 = best_w.0;
+        bisection.weight1 = best_w.1;
+    }
+    // Defensive recomputation keeps the struct internally consistent even if
+    // incremental bookkeeping ever drifts.
+    let fresh = Bisection::from_sides(graph, bisection.side.clone());
+    debug_assert_eq!(fresh.cut, bisection.cut, "incremental cut bookkeeping diverged");
+    *bisection = fresh;
+    initial_cut - bisection.cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial::greedy_graph_growing;
+    use tie_graph::generators;
+
+    #[test]
+    fn refinement_never_worsens_cut() {
+        let g = generators::barabasi_albert(300, 3, 1);
+        let total = g.total_vertex_weight();
+        let t0 = total / 2;
+        let t1 = total - t0;
+        let mut b = greedy_graph_growing(&g, t0, 0.03, 4, 2);
+        let before = b.cut;
+        let improvement = refine_bisection(&g, &mut b, t0, t1, 0.03, 8);
+        assert!(b.cut <= before);
+        assert_eq!(before - b.cut, improvement);
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = generators::grid2d(10, 10);
+        let total = g.total_vertex_weight();
+        let (t0, t1) = (total / 2, total - total / 2);
+        let mut b = greedy_graph_growing(&g, t0, 0.03, 4, 5);
+        refine_bisection(&g, &mut b, t0, t1, 0.03, 8);
+        assert!(b.weight0 <= max_weight(t0, 0.03));
+        assert!(b.weight1 <= max_weight(t1, 0.03));
+    }
+
+    #[test]
+    fn fm_strongly_improves_interleaved_cliques() {
+        // Two 10-cliques joined by a single edge: optimal cut is 1. Start from
+        // a deliberately bad, interleaved split; FM must improve the cut by a
+        // large margin while staying balanced (a 10 % slack lets single-vertex
+        // moves breathe).
+        let mut builder = tie_graph::GraphBuilder::new(20);
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                builder.add_edge(a, b, 1);
+                builder.add_edge(a + 10, b + 10, 1);
+            }
+        }
+        builder.add_edge(0, 10, 1);
+        let g = builder.build();
+        let side: Vec<u8> = (0..20).map(|v| (v % 2) as u8).collect();
+        let mut b = Bisection::from_sides(&g, side);
+        let before = b.cut;
+        assert!(before > 40);
+        refine_bisection(&g, &mut b, 10, 10, 0.1, 20);
+        assert!(b.cut <= before / 2, "cut {} should be far below {}", b.cut, before);
+        assert!(b.weight0 >= 9 && b.weight0 <= 11);
+    }
+
+    #[test]
+    fn fm_cannot_empty_a_side() {
+        // A path of 3 vertices with target weights 1 and 2: FM must not move
+        // the single side-0 vertex away (that would leave side 0 empty and
+        // overload side 1 beyond its floor-based bound).
+        let g = generators::path_graph(3);
+        let mut b = Bisection::from_sides(&g, vec![0, 1, 1]);
+        refine_bisection(&g, &mut b, 1, 2, 0.03, 5);
+        assert!(b.weight0 >= 1, "side 0 must not be emptied");
+        assert!(b.weight1 >= 1);
+    }
+
+    #[test]
+    fn gain_computation_matches_definition() {
+        let g = generators::path_graph(4);
+        let side = vec![0u8, 0, 1, 1];
+        // Vertex 1: neighbour 0 same side (-1), neighbour 2 other side (+1) -> 0.
+        assert_eq!(move_gain(&g, &side, 1), 0);
+        // Vertex 0: neighbour 1 same side -> -1.
+        assert_eq!(move_gain(&g, &side, 0), -1);
+        assert!(is_boundary(&g, &side, 1));
+        assert!(!is_boundary(&g, &side, 0));
+    }
+
+    #[test]
+    fn refinement_on_empty_graph_is_noop() {
+        let g = Graph::from_edges(0, &[]);
+        let mut b = Bisection::from_sides(&g, vec![]);
+        assert_eq!(refine_bisection(&g, &mut b, 0, 0, 0.03, 3), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Initial bisection of the coarsest graph by greedy graph growing.
+//!
+//! Starting from a random seed vertex, block 0 is grown one vertex at a time;
+//! among the frontier vertices the one whose move decreases the cut the most
+//! (highest internal-minus-external connectivity) is added, until block 0
+//! reaches its target weight. Several attempts with different seeds are made
+//! and the best feasible bisection is kept.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tie_graph::{Gain, Graph, NodeId, Weight};
+
+/// A bisection: `side[v]` is 0 or 1.
+#[derive(Clone, Debug)]
+pub struct Bisection {
+    /// Side of every vertex.
+    pub side: Vec<u8>,
+    /// Weight of side 0.
+    pub weight0: Weight,
+    /// Weight of side 1.
+    pub weight1: Weight,
+    /// Edge cut of the bisection.
+    pub cut: Weight,
+}
+
+impl Bisection {
+    /// Computes weights and cut from scratch for the given side assignment.
+    pub fn from_sides(graph: &Graph, side: Vec<u8>) -> Self {
+        let mut weight0 = 0;
+        let mut weight1 = 0;
+        for v in graph.vertices() {
+            if side[v as usize] == 0 {
+                weight0 += graph.vertex_weight(v);
+            } else {
+                weight1 += graph.vertex_weight(v);
+            }
+        }
+        let cut = graph
+            .edges()
+            .filter(|&(u, v, _)| side[u as usize] != side[v as usize])
+            .map(|(_, _, w)| w)
+            .sum();
+        Bisection { side, weight0, weight1, cut }
+    }
+
+    /// True if both sides respect their targets within factor `1 + eps`.
+    pub fn is_feasible(&self, target0: Weight, target1: Weight, eps: f64) -> bool {
+        let max0 = ((target0 as f64) * (1.0 + eps)).ceil() as Weight;
+        let max1 = ((target1 as f64) * (1.0 + eps)).ceil() as Weight;
+        self.weight0 <= max0.max(1) && self.weight1 <= max1.max(1)
+    }
+}
+
+/// Grows block 0 from a random seed until its weight reaches `target0`.
+fn grow_once(graph: &Graph, target0: Weight, rng: &mut StdRng) -> Bisection {
+    let n = graph.num_vertices();
+    let mut side = vec![1u8; n];
+    if n == 0 {
+        return Bisection::from_sides(graph, side);
+    }
+    let start = rng.gen_range(0..n) as NodeId;
+    // gain[v] = (weight to block 0) - (weight to block 1) for frontier vertices.
+    let mut in_block0 = vec![false; n];
+    let mut weight0: Weight = 0;
+
+    let mut frontier: Vec<NodeId> = vec![start];
+    while weight0 < target0 {
+        // Pick the frontier vertex with the highest connectivity to block 0.
+        let mut best: Option<(usize, Gain)> = None;
+        for (idx, &v) in frontier.iter().enumerate() {
+            let mut gain: Gain = 0;
+            for (u, w) in graph.edges_of(v) {
+                if in_block0[u as usize] {
+                    gain += w as Gain;
+                } else {
+                    gain -= w as Gain;
+                }
+            }
+            if best.map(|(_, g)| gain > g).unwrap_or(true) {
+                best = Some((idx, gain));
+            }
+        }
+        let v = match best {
+            Some((idx, _)) => frontier.swap_remove(idx),
+            None => {
+                // Frontier exhausted (disconnected graph): jump to any vertex
+                // not yet in block 0.
+                match (0..n as NodeId).find(|&v| !in_block0[v as usize]) {
+                    Some(v) => v,
+                    None => break,
+                }
+            }
+        };
+        if in_block0[v as usize] {
+            continue;
+        }
+        in_block0[v as usize] = true;
+        side[v as usize] = 0;
+        weight0 += graph.vertex_weight(v);
+        for &u in graph.neighbors(v) {
+            if !in_block0[u as usize] && !frontier.contains(&u) {
+                frontier.push(u);
+            }
+        }
+    }
+    Bisection::from_sides(graph, side)
+}
+
+/// Computes an initial bisection with block-0 target weight `target0`,
+/// trying `attempts` random seeds and keeping the best (lowest cut among
+/// feasible ones; if none is feasible, the one with the lowest imbalance).
+pub fn greedy_graph_growing(
+    graph: &Graph,
+    target0: Weight,
+    eps: f64,
+    attempts: usize,
+    seed: u64,
+) -> Bisection {
+    let total = graph.total_vertex_weight();
+    let target1 = total.saturating_sub(target0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<Bisection> = None;
+    for _ in 0..attempts.max(1) {
+        let cand = grow_once(graph, target0, &mut rng);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let cand_ok = cand.is_feasible(target0, target1, eps);
+                let best_ok = b.is_feasible(target0, target1, eps);
+                match (cand_ok, best_ok) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => cand.cut < b.cut,
+                    (false, false) => {
+                        imbalance_of(&cand, target0, target1) < imbalance_of(b, target0, target1)
+                    }
+                }
+            }
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.unwrap_or_else(|| Bisection::from_sides(graph, vec![1; graph.num_vertices()]))
+}
+
+fn imbalance_of(b: &Bisection, target0: Weight, target1: Weight) -> f64 {
+    let r0 = if target0 > 0 { b.weight0 as f64 / target0 as f64 } else { 1.0 };
+    let r1 = if target1 > 0 { b.weight1 as f64 / target1 as f64 } else { 1.0 };
+    r0.max(r1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_graph::generators;
+
+    #[test]
+    fn bisection_from_sides_consistency() {
+        let g = generators::path_graph(4);
+        let b = Bisection::from_sides(&g, vec![0, 0, 1, 1]);
+        assert_eq!(b.weight0, 2);
+        assert_eq!(b.weight1, 2);
+        assert_eq!(b.cut, 1);
+        assert!(b.is_feasible(2, 2, 0.0));
+        assert!(!b.is_feasible(1, 3, 0.0));
+    }
+
+    #[test]
+    fn growing_hits_target_weight_on_grid() {
+        let g = generators::grid2d(8, 8);
+        let b = greedy_graph_growing(&g, 32, 0.05, 6, 1);
+        assert!(b.weight0 >= 32 && b.weight0 <= 36, "weight0 = {}", b.weight0);
+        assert_eq!(b.weight0 + b.weight1, 64);
+        // A grown region of a grid should have a reasonably small cut.
+        assert!(b.cut <= 24, "cut = {}", b.cut);
+    }
+
+    #[test]
+    fn growing_handles_disconnected_graphs() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3)]);
+        let b = greedy_graph_growing(&g, 3, 0.1, 4, 2);
+        assert_eq!(b.weight0 + b.weight1, 6);
+        assert!(b.weight0 >= 3);
+    }
+
+    #[test]
+    fn growing_is_deterministic_in_seed() {
+        let g = generators::barabasi_albert(120, 2, 7);
+        let a = greedy_graph_growing(&g, 60, 0.03, 5, 11);
+        let b = greedy_graph_growing(&g, 60, 0.03, 5, 11);
+        assert_eq!(a.side, b.side);
+    }
+
+    #[test]
+    fn unbalanced_target() {
+        let g = generators::grid2d(6, 6);
+        let b = greedy_graph_growing(&g, 9, 0.1, 5, 3);
+        assert!(b.weight0 >= 9 && b.weight0 <= 12, "weight0 = {}", b.weight0);
+    }
+}

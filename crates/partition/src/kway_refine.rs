@@ -1,0 +1,265 @@
+//! Greedy k-way boundary refinement.
+//!
+//! After recursive bisection, block boundaries can often still be improved by
+//! moving individual boundary vertices to the adjacent block they are most
+//! strongly connected to, as long as the balance constraint stays satisfied.
+//! This pass is a light-weight version of KaHIP's k-way local search and runs
+//! a fixed number of sweeps over the boundary.
+
+use tie_graph::{Gain, Graph, NodeId, Weight};
+
+use crate::partition::Partition;
+
+/// Largest admissible block weight: `floor((1 + eps) * ideal)`, but at least
+/// `ideal` so that perfect balance is always admissible. Consistent with
+/// [`Partition::is_balanced`].
+pub fn block_bound(ideal: Weight, eps: f64) -> Weight {
+    ((((ideal as f64) * (1.0 + eps)).floor() as Weight).max(ideal)).max(1)
+}
+
+/// Moves vertices out of overweight blocks until every block respects the
+/// balance bound (Eq. (1) of the paper) or no further move is possible.
+///
+/// Vertices are chosen to lose as little cut weight as possible: among the
+/// vertices of the heaviest overweight block, the one with the smallest
+/// difference between internal connectivity and connectivity to the chosen
+/// target block is moved; the target is the lightest block (preferring blocks
+/// the vertex is connected to). With unit vertex weights — the situation for
+/// all initial partitions in this reproduction — this always succeeds.
+pub fn rebalance(graph: &Graph, partition: &mut Partition, eps: f64) -> usize {
+    let k = partition.k();
+    if k <= 1 || graph.num_vertices() == 0 {
+        return 0;
+    }
+    let total = graph.total_vertex_weight();
+    let ideal = (total + k as Weight - 1) / k as Weight;
+    let max_block = block_bound(ideal, eps);
+    let mut block_weights = partition.block_weights(graph);
+    let mut moves = 0usize;
+    let guard_limit = graph.num_vertices() * 2;
+
+    while moves < guard_limit {
+        // Heaviest overweight block.
+        let Some((from, _)) = block_weights
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > max_block)
+            .max_by_key(|&(_, &w)| w)
+        else {
+            break;
+        };
+        let from = from as u32;
+        // Candidate vertex with minimal cut damage.
+        let mut best: Option<(NodeId, u32, Gain)> = None; // (vertex, target block, damage)
+        for v in graph.vertices() {
+            if partition.block_of(v) != from {
+                continue;
+            }
+            let vw = graph.vertex_weight(v);
+            let mut internal: Weight = 0;
+            let mut conn: Vec<(u32, Weight)> = Vec::new();
+            for (u, w) in graph.edges_of(v) {
+                let b = partition.block_of(u);
+                if b == from {
+                    internal += w;
+                } else {
+                    match conn.iter_mut().find(|(bb, _)| *bb == b) {
+                        Some((_, cw)) => *cw += w,
+                        None => conn.push((b, w)),
+                    }
+                }
+            }
+            // Prefer an adjacent block that still has room; otherwise the
+            // globally lightest block with room.
+            let adjacent_target = conn
+                .iter()
+                .filter(|&&(b, _)| block_weights[b as usize] + vw <= max_block)
+                .max_by_key(|&&(_, w)| w)
+                .map(|&(b, w)| (b, w));
+            let fallback_target = (0..k as u32)
+                .filter(|&b| b != from && block_weights[b as usize] + vw <= max_block)
+                .min_by_key(|&b| block_weights[b as usize])
+                .map(|b| (b, 0 as Weight));
+            let Some((target, gain_to_target)) = adjacent_target.or(fallback_target) else {
+                continue;
+            };
+            let damage = internal as Gain - gain_to_target as Gain;
+            if best.map(|(_, _, d)| damage < d).unwrap_or(true) {
+                best = Some((v, target, damage));
+            }
+        }
+        let Some((v, target, _)) = best else {
+            break; // nothing movable; give up
+        };
+        let vw = graph.vertex_weight(v);
+        partition.assignment_mut()[v as usize] = target;
+        block_weights[from as usize] -= vw;
+        block_weights[target as usize] += vw;
+        moves += 1;
+    }
+    moves
+}
+
+/// Runs `max_sweeps` greedy sweeps; returns the total cut improvement.
+pub fn greedy_kway_refine(
+    graph: &Graph,
+    partition: &mut Partition,
+    eps: f64,
+    max_sweeps: usize,
+) -> Weight {
+    let k = partition.k();
+    if k <= 1 || graph.num_vertices() == 0 {
+        return 0;
+    }
+    let total = graph.total_vertex_weight();
+    let ideal = (total + k as Weight - 1) / k as Weight;
+    let max_block = block_bound(ideal, eps);
+
+    let mut block_weights = partition.block_weights(graph);
+    let cut_before = partition.edge_cut(graph);
+    let mut improved_total: Gain = 0;
+
+    for _ in 0..max_sweeps {
+        let mut moved_any = false;
+        for v in graph.vertices() {
+            let from = partition.block_of(v);
+            // Connectivity of v to each adjacent block.
+            let mut conn: Vec<(u32, Weight)> = Vec::new();
+            let mut internal: Weight = 0;
+            for (u, w) in graph.edges_of(v) {
+                let b = partition.block_of(u);
+                if b == from {
+                    internal += w;
+                } else {
+                    match conn.iter_mut().find(|(bb, _)| *bb == b) {
+                        Some((_, cw)) => *cw += w,
+                        None => conn.push((b, w)),
+                    }
+                }
+            }
+            if conn.is_empty() {
+                continue; // not a boundary vertex
+            }
+            // Best target block by gain = external(b) - internal.
+            let (best_block, best_conn) =
+                conn.into_iter().max_by_key(|&(_, w)| w).unwrap();
+            let gain = best_conn as Gain - internal as Gain;
+            if gain <= 0 {
+                continue;
+            }
+            let vw = graph.vertex_weight(v);
+            if block_weights[best_block as usize] + vw > max_block {
+                continue;
+            }
+            // Apply the move.
+            partition.assignment_mut()[v as usize] = best_block;
+            block_weights[from as usize] -= vw;
+            block_weights[best_block as usize] += vw;
+            improved_total += gain;
+            moved_any = true;
+        }
+        if !moved_any {
+            break;
+        }
+    }
+    debug_assert_eq!(
+        partition.edge_cut(graph) as i64,
+        cut_before as i64 - improved_total,
+        "k-way refinement bookkeeping diverged"
+    );
+    improved_total.max(0) as Weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionConfig;
+    use tie_graph::generators;
+
+    #[test]
+    fn refinement_improves_perturbed_partition() {
+        // Take a good 4-way partition of a grid and swap a handful of vertex
+        // pairs across blocks (balance preserved, cut worsened). Greedy
+        // refinement must win back part of the damage without breaking the
+        // balance constraint.
+        let g = generators::grid2d(8, 8);
+        let cfg = PartitionConfig::new(4, 3);
+        let good = crate::partition(&g, &cfg);
+        let mut assignment = good.assignment().to_vec();
+        let baseline = good.edge_cut(&g);
+        // Swap vertices 0..6 with vertices 58..64 (they live in different
+        // blocks of any sane grid partition).
+        for i in 0..6usize {
+            assignment.swap(i, 63 - i);
+        }
+        let mut p = Partition::new(assignment, 4);
+        let before = p.edge_cut(&g);
+        assert!(before > baseline, "perturbation should worsen the cut");
+        // With 16-vertex blocks a 3-5 % bound forbids any single move (the
+        // bound rounds down to exactly 16), so give the refiner a 10 % slack
+        // — the point of the test is cut improvement, not tight balance.
+        let improvement = greedy_kway_refine(&g, &mut p, 0.10, 10);
+        let after = p.edge_cut(&g);
+        assert_eq!(before - after, improvement);
+        assert!(after < before, "cut should improve: {before} -> {after}");
+        assert!(p.is_balanced(&g, 0.10 + 1e-9));
+    }
+
+    #[test]
+    fn refinement_keeps_good_partition_good() {
+        let g = generators::grid2d(8, 8);
+        let cfg = PartitionConfig::new(4, 3);
+        let mut p = crate::partition(&g, &cfg);
+        let before = p.edge_cut(&g);
+        greedy_kway_refine(&g, &mut p, cfg.epsilon, 3);
+        assert!(p.edge_cut(&g) <= before);
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = generators::barabasi_albert(400, 3, 8);
+        let assignment: Vec<u32> = (0..400u32).map(|v| v % 8).collect();
+        let mut p = Partition::new(assignment, 8);
+        greedy_kway_refine(&g, &mut p, 0.03, 5);
+        assert!(p.is_balanced(&g, 0.03 + 1e-9), "imbalance = {}", p.imbalance(&g));
+    }
+
+    #[test]
+    fn single_block_is_noop() {
+        let g = generators::cycle_graph(6);
+        let mut p = Partition::new(vec![0; 6], 1);
+        assert_eq!(greedy_kway_refine(&g, &mut p, 0.03, 3), 0);
+    }
+
+    #[test]
+    fn rebalance_fixes_overloaded_block() {
+        // All vertices initially in block 0 of a 4-block partition; rebalance
+        // must spread them out until the 3 % bound holds.
+        let g = generators::grid2d(8, 8);
+        let mut p = Partition::new(vec![0; 64], 4);
+        assert!(!p.is_balanced(&g, 0.03));
+        let moves = rebalance(&g, &mut p, 0.03);
+        assert!(moves > 0);
+        assert!(p.is_balanced(&g, 0.03 + 1e-9), "imbalance = {}", p.imbalance(&g));
+        assert_eq!(p.num_nonempty_blocks(), 4);
+    }
+
+    #[test]
+    fn rebalance_noop_on_balanced_partition() {
+        let g = generators::grid2d(8, 8);
+        let cfg = PartitionConfig::new(4, 1);
+        let mut p = crate::partition(&g, &cfg);
+        assert!(p.is_balanced(&g, cfg.epsilon + 1e-9));
+        let cut = p.edge_cut(&g);
+        assert_eq!(rebalance(&g, &mut p, cfg.epsilon), 0);
+        assert_eq!(p.edge_cut(&g), cut);
+    }
+
+    #[test]
+    fn block_bound_rounding() {
+        assert_eq!(block_bound(16, 0.03), 16); // floor(16.48) = 16
+        assert_eq!(block_bound(100, 0.03), 103);
+        assert_eq!(block_bound(50, 0.03), 51);
+        assert_eq!(block_bound(1, 0.0), 1);
+    }
+}

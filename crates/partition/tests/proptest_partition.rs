@@ -1,0 +1,85 @@
+//! Property-based and integration tests for the multilevel partitioner.
+
+use proptest::prelude::*;
+use tie_graph::generators;
+use tie_partition::{partition, PartitionConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every vertex gets a block id below k, every block is used (when n >= k)
+    /// and the balance constraint holds for connected synthetic networks.
+    #[test]
+    fn partition_invariants_on_ba_graphs(
+        n in 200..600usize,
+        attach in 2..4usize,
+        k_exp in 1..5u32,
+        seed in 0..50u64,
+    ) {
+        let g = generators::barabasi_albert(n, attach, seed);
+        let k = 1usize << k_exp;
+        let cfg = PartitionConfig::new(k, seed);
+        let p = partition(&g, &cfg);
+        prop_assert_eq!(p.assignment().len(), n);
+        prop_assert!(p.assignment().iter().all(|&b| (b as usize) < k));
+        prop_assert_eq!(p.num_nonempty_blocks(), k);
+        // Allow a small slack over epsilon: recursive bisection guarantees are
+        // heuristic, but gross violations indicate a bug.
+        prop_assert!(p.is_balanced(&g, cfg.epsilon + 0.05),
+            "imbalance {} too large for k={}", p.imbalance(&g), k);
+        // The cut never exceeds the total edge weight.
+        prop_assert!(p.edge_cut(&g) <= g.total_edge_weight());
+    }
+
+    /// Determinism: same seed, same partition.
+    #[test]
+    fn partition_deterministic(seed in 0..30u64) {
+        let g = generators::watts_strogatz(300, 6, 0.05, seed);
+        let cfg = PartitionConfig::new(8, seed);
+        let a = partition(&g, &cfg);
+        let b = partition(&g, &cfg);
+        prop_assert_eq!(a.assignment(), b.assignment());
+    }
+
+    /// Grid partitions have locality: the cut of a k-way partition of an
+    /// r x r grid stays well below the trivial upper bound of all edges.
+    #[test]
+    fn grid_partition_cut_reasonable(r in 8..14usize, k_exp in 2..5u32) {
+        let g = generators::grid2d(r, r);
+        let k = 1usize << k_exp;
+        let cfg = PartitionConfig::new(k, 17);
+        let p = partition(&g, &cfg);
+        let cut = p.edge_cut(&g);
+        // Perfectly square blocks would cut about r * (sqrt(k)-1) * 2 edges;
+        // allow generous headroom (factor ~4) for the heuristic.
+        let generous = (4.0 * 2.0 * r as f64 * ((k as f64).sqrt())) as u64 + 16;
+        prop_assert!(cut <= generous, "cut {} above generous bound {}", cut, generous);
+    }
+}
+
+#[test]
+fn partition_256_blocks_like_paper_setting() {
+    // The paper partitions complex networks into 256 and 512 blocks with
+    // eps = 3 %. Use a scaled-down network but the same k = 256.
+    let g = generators::barabasi_albert(4096, 4, 99);
+    let cfg = PartitionConfig::new(256, 1);
+    let p = partition(&g, &cfg);
+    assert_eq!(p.num_nonempty_blocks(), 256);
+    assert!(p.is_balanced(&g, cfg.epsilon + 0.08), "imbalance = {}", p.imbalance(&g));
+}
+
+#[test]
+fn partition_of_disconnected_graph() {
+    // Two disjoint cliques; bisection should separate them with zero cut.
+    let mut b = tie_graph::GraphBuilder::new(20);
+    for a in 0..10u32 {
+        for c in (a + 1)..10 {
+            b.add_edge(a, c, 1);
+            b.add_edge(a + 10, c + 10, 1);
+        }
+    }
+    let g = b.build();
+    let p = partition(&g, &PartitionConfig::new(2, 5));
+    assert_eq!(p.edge_cut(&g), 0);
+    assert_eq!(p.block_sizes(), vec![10, 10]);
+}

@@ -1,0 +1,56 @@
+//! Integration test comparing the two partitioners of the crate (multilevel
+//! recursive bisection vs size-constrained label propagation) on the kind of
+//! instances the TIMER experiments use.
+
+use tie_graph::generators;
+use tie_partition::{
+    label_propagation_partition, partition, LabelPropagationConfig, PartitionConfig,
+};
+
+#[test]
+fn both_partitioners_satisfy_paper_balance_on_complex_networks() {
+    for seed in [1u64, 2, 3] {
+        let g = generators::barabasi_albert(1200, 4, seed);
+        let ml = partition(&g, &PartitionConfig::new(64, seed));
+        let lp = label_propagation_partition(&g, &LabelPropagationConfig::new(64, seed));
+        for (name, p) in [("multilevel", &ml), ("label propagation", &lp)] {
+            assert!(
+                p.is_balanced(&g, 0.03 + 1e-9),
+                "{name} violates the 3% bound (imbalance {})",
+                p.imbalance(&g)
+            );
+            assert_eq!(p.k(), 64, "{name}");
+            assert!(p.num_nonempty_blocks() >= 60, "{name} leaves too many blocks empty");
+        }
+    }
+}
+
+#[test]
+fn multilevel_cut_is_competitive_with_sclp_on_meshes() {
+    // On meshes (strong geometric locality) the multilevel pipeline should
+    // produce clearly better cuts than plain label propagation.
+    let g = generators::grid2d(24, 24);
+    let ml = partition(&g, &PartitionConfig::new(16, 7));
+    let lp = label_propagation_partition(&g, &LabelPropagationConfig::new(16, 7));
+    assert!(
+        ml.edge_cut(&g) <= lp.edge_cut(&g),
+        "multilevel ({}) should not cut more than label propagation ({})",
+        ml.edge_cut(&g),
+        lp.edge_cut(&g)
+    );
+}
+
+#[test]
+fn partitioners_handle_the_papers_k_values() {
+    let g = generators::rmat(11, 8, (0.57, 0.19, 0.19, 0.05), 5);
+    let (lcc, _) = tie_graph::traversal::largest_connected_component(&g);
+    for k in [256usize, 512] {
+        let p = partition(&lcc, &PartitionConfig::new(k, 1));
+        assert_eq!(p.k(), k);
+        assert!(
+            p.is_balanced(&lcc, 0.03 + 0.05),
+            "k={k}: imbalance {} too high",
+            p.imbalance(&lcc)
+        );
+    }
+}

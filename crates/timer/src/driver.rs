@@ -1,0 +1,302 @@
+//! The TIMER driver (Algorithm 1): multi-hierarchical label swapping over
+//! `NH` random digit permutations.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use tie_graph::Graph;
+use tie_mapping::Mapping;
+use tie_topology::label::{invert_permutation, permute_label_bits};
+use tie_topology::PartialCubeLabeling;
+
+use crate::assemble::assemble_labels;
+use crate::hierarchy::build_hierarchy;
+use crate::labeling::Labeling;
+use crate::objective::{coco, coco_plus, diversity, objective_for_labels};
+use crate::TimerConfig;
+
+/// The TIMER mapping enhancer.
+#[derive(Clone, Debug, Default)]
+pub struct Timer {
+    config: TimerConfig,
+}
+
+/// Result of a TIMER run.
+#[derive(Clone, Debug)]
+pub struct TimerResult {
+    /// The enhanced mapping `µ₂`.
+    pub mapping: Mapping,
+    /// The final labeling of the application vertices.
+    pub labeling: Labeling,
+    /// `Coco` of the initial mapping.
+    pub initial_coco: u64,
+    /// `Coco` of the enhanced mapping.
+    pub final_coco: u64,
+    /// `Coco⁺` of the initial labeling.
+    pub initial_coco_plus: i64,
+    /// `Coco⁺` of the final labeling.
+    pub final_coco_plus: i64,
+    /// `Div` of the final labeling.
+    pub final_diversity: u64,
+    /// Number of hierarchy rounds whose result was kept.
+    pub hierarchies_accepted: usize,
+    /// Number of label swaps performed across all hierarchy sweeps.
+    pub total_swaps: usize,
+    /// Number of vertices whose assembled label needed the bijection repair.
+    pub total_repaired: usize,
+}
+
+impl TimerResult {
+    /// Relative improvement of Coco, `1 - final/initial` (0 if initial is 0).
+    pub fn coco_improvement(&self) -> f64 {
+        if self.initial_coco == 0 {
+            0.0
+        } else {
+            1.0 - self.final_coco as f64 / self.initial_coco as f64
+        }
+    }
+}
+
+impl Timer {
+    /// Creates a TIMER instance with the given configuration.
+    pub fn new(config: TimerConfig) -> Self {
+        Timer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TimerConfig {
+        &self.config
+    }
+
+    /// Enhances `initial` — a mapping of `graph` onto the partial cube
+    /// described by `pcube` — and returns the improved mapping together with
+    /// quality bookkeeping. The balance of the initial mapping is preserved
+    /// exactly (labels are only permuted among the vertices).
+    pub fn enhance(
+        &self,
+        graph: &Graph,
+        pcube: &PartialCubeLabeling,
+        initial: &Mapping,
+    ) -> TimerResult {
+        let cfg = &self.config;
+        let mut labeling = Labeling::from_mapping(graph, pcube, initial, cfg.seed);
+        let dim = labeling.dim;
+        let p_mask = labeling.p_mask();
+        let e_mask = if cfg.use_diversity { labeling.ext_mask() } else { 0 };
+
+        let initial_coco = coco(graph, &labeling);
+        let initial_coco_plus = coco_plus(graph, &labeling);
+        let original_set = labeling.sorted_label_set();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x51ed_270b));
+        let mut accepted = 0usize;
+        let mut total_swaps = 0usize;
+        let mut total_repaired = 0usize;
+
+        for _round in 0..cfg.num_hierarchies {
+            let old_labels = labeling.labels.clone();
+            let old_objective = objective_for_labels(graph, &old_labels, p_mask, e_mask);
+
+            // Line 6: random permutation of the label digits.
+            let mut perm: Vec<usize> = (0..dim).collect();
+            perm.shuffle(&mut rng);
+            let inv = invert_permutation(&perm);
+
+            // Line 7: permute labels (and the masks along with them).
+            let permuted: Vec<u64> =
+                old_labels.iter().map(|&l| permute_label_bits(l, &perm, dim)).collect();
+            let p_mask_perm = permute_label_bits(p_mask, &perm, dim);
+            let e_mask_perm = permute_label_bits(e_mask, &perm, dim);
+
+            // Lines 9-14: swap sweeps interleaved with contractions.
+            let run =
+                build_hierarchy(graph, permuted, dim, p_mask_perm, e_mask_perm, cfg.threads);
+            total_swaps += run.total_swaps;
+
+            // Line 15: assemble a new fine-level labeling from the hierarchy.
+            let assembled = assemble_labels(&run, dim);
+            total_repaired += assembled.repaired;
+
+            // Line 16: undo the digit permutation.
+            let new_labels: Vec<u64> =
+                assembled.labels.iter().map(|&l| permute_label_bits(l, &inv, dim)).collect();
+
+            // Lines 17-19: keep the new labeling only if it does not worsen
+            // the objective (the coarse-level gains are only estimates).
+            let new_objective = objective_for_labels(graph, &new_labels, p_mask, e_mask);
+            if new_objective <= old_objective {
+                labeling.set_labels(new_labels);
+                if new_objective < old_objective {
+                    accepted += 1;
+                }
+            }
+        }
+
+        debug_assert_eq!(
+            labeling.sorted_label_set(),
+            original_set,
+            "TIMER must never change the label set (balance preservation)"
+        );
+
+        let final_coco = coco(graph, &labeling);
+        let final_coco_plus = coco_plus(graph, &labeling);
+        let final_diversity = diversity(graph, &labeling);
+        TimerResult {
+            mapping: labeling.to_mapping(),
+            labeling,
+            initial_coco,
+            final_coco,
+            initial_coco_plus,
+            final_coco_plus,
+            final_diversity,
+            hierarchies_accepted: accepted,
+            total_swaps,
+            total_repaired,
+        }
+    }
+}
+
+/// Convenience wrapper: runs TIMER with `config` on the given instance.
+pub fn enhance_mapping(
+    graph: &Graph,
+    pcube: &PartialCubeLabeling,
+    initial: &Mapping,
+    config: TimerConfig,
+) -> TimerResult {
+    Timer::new(config).enhance(graph, pcube, initial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_graph::generators;
+    use tie_graph::traversal::all_pairs_distances;
+    use tie_mapping::identity_mapping;
+    use tie_partition::{partition, PartitionConfig};
+    use tie_topology::{recognize_partial_cube, Topology};
+
+    /// Shared test fixture: a complex network mapped onto a 4x4 grid via a
+    /// partition plus the identity bijection (experimental case c2 in small).
+    fn fixture(seed: u64) -> (Graph, Topology, PartialCubeLabeling, Mapping) {
+        let ga =
+            generators::randomize_edge_weights(&generators::barabasi_albert(400, 3, seed), 4, seed);
+        let topo = Topology::grid2d(4, 4);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let part = partition(&ga, &PartitionConfig::new(16, seed));
+        let mapping = identity_mapping(&part, 16);
+        (ga, topo, pcube, mapping)
+    }
+
+    fn coco_by_distances(ga: &Graph, gp: &Graph, m: &Mapping) -> u64 {
+        let dist = all_pairs_distances(gp);
+        ga.edges().map(|(u, v, w)| w * dist.get(m.pe_of(u), m.pe_of(v)) as u64).sum()
+    }
+
+    #[test]
+    fn timer_never_worsens_coco_plus_and_preserves_balance() {
+        let (ga, topo, pcube, mapping) = fixture(1);
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(10, 7));
+        assert!(result.final_coco_plus <= result.initial_coco_plus);
+        // Balance: identical load multiset before and after.
+        let mut before = mapping.load_per_pe();
+        let mut after = result.mapping.load_per_pe();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+        // Reported Coco matches the independent distance-based computation.
+        assert_eq!(result.final_coco, coco_by_distances(&ga, &topo.graph, &result.mapping));
+        assert_eq!(result.initial_coco, coco_by_distances(&ga, &topo.graph, &mapping));
+    }
+
+    #[test]
+    fn timer_improves_a_scrambled_mapping_substantially() {
+        // Start from a partition mapped with a *random* bijection of blocks
+        // to PEs — plenty of room for improvement, which TIMER must find.
+        let (ga, topo, pcube, _) = fixture(2);
+        let part = partition(&ga, &PartitionConfig::new(16, 2));
+        let scramble = generators::random_permutation(16, 3);
+        let bad = Mapping::from_partition(&part, &scramble, 16);
+        let result = enhance_mapping(&ga, &pcube, &bad, TimerConfig::new(15, 5));
+        assert!(
+            result.final_coco < result.initial_coco,
+            "TIMER should reduce Coco: {} -> {}",
+            result.initial_coco,
+            result.final_coco
+        );
+        assert!(result.coco_improvement() > 0.05, "improvement {}", result.coco_improvement());
+        assert!(result.hierarchies_accepted > 0);
+        assert_eq!(result.final_coco, coco_by_distances(&ga, &topo.graph, &result.mapping));
+    }
+
+    #[test]
+    fn timer_is_deterministic_in_seed() {
+        let (ga, _, pcube, mapping) = fixture(3);
+        let a = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 11));
+        let b = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 11));
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.final_coco, b.final_coco);
+    }
+
+    #[test]
+    fn more_hierarchies_do_not_hurt() {
+        let (ga, _, pcube, mapping) = fixture(4);
+        let few = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(2, 9));
+        let many = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(20, 9));
+        assert!(many.final_coco_plus <= few.final_coco_plus);
+    }
+
+    #[test]
+    fn diversity_ablation_still_valid() {
+        let (ga, topo, pcube, mapping) = fixture(5);
+        let result =
+            enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, 3).without_diversity());
+        assert!(result.final_coco <= result.initial_coco);
+        assert_eq!(result.final_coco, coco_by_distances(&ga, &topo.graph, &result.mapping));
+    }
+
+    #[test]
+    fn parallel_sweep_variant_produces_valid_result() {
+        let (ga, topo, pcube, mapping) = fixture(6);
+        let result =
+            enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(6, 2).with_threads(4));
+        assert!(result.final_coco_plus <= result.initial_coco_plus);
+        assert_eq!(result.final_coco, coco_by_distances(&ga, &topo.graph, &result.mapping));
+        let mut before = mapping.load_per_pe();
+        let mut after = result.mapping.load_per_pe();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn works_on_torus_and_hypercube_targets() {
+        let ga = generators::watts_strogatz(512, 6, 0.1, 7);
+        for topo in [Topology::torus2d(4, 4), Topology::hypercube(4)] {
+            let pcube = recognize_partial_cube(&topo.graph).unwrap();
+            let part = partition(&ga, &PartitionConfig::new(16, 1));
+            let mapping = identity_mapping(&part, 16);
+            let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, 1));
+            assert!(result.final_coco <= result.initial_coco, "{}", topo.name);
+            assert_eq!(
+                result.final_coco,
+                coco_by_distances(&ga, &topo.graph, &result.mapping),
+                "{}",
+                topo.name
+            );
+        }
+    }
+
+    #[test]
+    fn one_task_per_pe_instance() {
+        // |Va| = |Vp|: no extension bits at all; TIMER degenerates to pure
+        // PE-label swapping and must still not worsen anything.
+        let topo = Topology::grid2d(4, 4);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let ga = generators::randomize_edge_weights(&topo.graph, 3, 1);
+        let mapping = Mapping::new(generators::random_permutation(16, 5), 16);
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(20, 3));
+        assert!(result.final_coco <= result.initial_coco);
+        assert!(result.labeling.is_unique());
+    }
+}

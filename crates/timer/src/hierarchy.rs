@@ -1,0 +1,270 @@
+//! Label-driven hierarchy construction with interleaved swap sweeps
+//! (the inner loop of Algorithm 1, lines 9–14).
+//!
+//! Starting from the application graph with (digit-permuted) labels, each
+//! round first sweeps over all vertex pairs whose labels agree on everything
+//! but the last digit and swaps their labels whenever that improves the
+//! (level-local) `Coco⁺` estimate, and then contracts such pairs into single
+//! vertices while cutting off the last digit. Repeating this until only two
+//! digits remain yields a hierarchy of graphs `G¹, …, G^{dim−1}` whose labels
+//! encode a recursive bipartition of `Ga` induced by the processor topology —
+//! oblivious to `Ga`'s own edge structure, which is exactly the diversity the
+//! TIMER search exploits.
+
+use std::collections::HashMap;
+
+use tie_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::objective::swap_delta;
+use crate::parallel::parallel_sweep;
+
+/// One level of a TIMER hierarchy.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// The (possibly contracted) graph at this level.
+    pub graph: Graph,
+    /// Vertex labels at this level (already truncated by the level index).
+    pub labels: Vec<u64>,
+    /// For every vertex of this level, the vertex of the next coarser level
+    /// it is contracted into. Empty for the coarsest level.
+    pub fine_to_coarse: Vec<NodeId>,
+}
+
+/// A full hierarchy: `levels[0]` is the application graph itself (with the
+/// labels as left behind by the level-1 swap sweep), `levels.last()` the
+/// coarsest graph with 2-digit labels.
+#[derive(Clone, Debug)]
+pub struct HierarchyRun {
+    /// Levels from finest to coarsest.
+    pub levels: Vec<Level>,
+    /// Number of label swaps performed across all sweeps.
+    pub total_swaps: usize,
+}
+
+/// Returns the candidate swap pairs of a level: all pairs of vertices whose
+/// labels agree on everything but the least significant digit, in
+/// deterministic (label) order.
+pub fn swap_pairs(labels: &[u64]) -> Vec<(NodeId, NodeId)> {
+    let mut by_prefix: HashMap<u64, (NodeId, Option<NodeId>)> = HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        let key = l >> 1;
+        by_prefix
+            .entry(key)
+            .and_modify(|e| {
+                if e.1.is_none() {
+                    e.1 = Some(v as NodeId);
+                }
+            })
+            .or_insert((v as NodeId, None));
+    }
+    let mut pairs: Vec<(u64, NodeId, NodeId)> = by_prefix
+        .into_iter()
+        .filter_map(|(key, (a, b))| b.map(|b| (key, a, b)))
+        .collect();
+    pairs.sort_unstable_by_key(|&(key, _, _)| key);
+    pairs.into_iter().map(|(_, a, b)| (a, b)).collect()
+}
+
+/// Sequential swap sweep: for every candidate pair, swap the labels if that
+/// strictly decreases the objective. Returns the number of swaps performed.
+pub fn sweep(graph: &Graph, labels: &mut [u64], p_mask: u64, e_mask: u64) -> usize {
+    let mut swaps = 0usize;
+    for (u, v) in swap_pairs(labels) {
+        if swap_delta(graph, labels, p_mask, e_mask, u, v) < 0 {
+            labels.swap(u as usize, v as usize);
+            swaps += 1;
+        }
+    }
+    swaps
+}
+
+/// Contracts every candidate pair (vertices sharing all but the last label
+/// digit) into a single coarse vertex and cuts the last digit off every
+/// label. Unpaired vertices are carried over unchanged (minus the digit).
+pub fn contract_level(graph: &Graph, labels: &[u64]) -> (Graph, Vec<u64>, Vec<NodeId>) {
+    let n = graph.num_vertices();
+    // Coarse vertex per distinct label prefix, in sorted prefix order for
+    // determinism.
+    let mut prefixes: Vec<u64> = labels.iter().map(|&l| l >> 1).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    let coarse_of_prefix: HashMap<u64, NodeId> =
+        prefixes.iter().enumerate().map(|(i, &p)| (p, i as NodeId)).collect();
+
+    let mut fine_to_coarse = vec![0 as NodeId; n];
+    for (v, &l) in labels.iter().enumerate() {
+        fine_to_coarse[v] = coarse_of_prefix[&(l >> 1)];
+    }
+    let coarse_n = prefixes.len();
+    let coarse_labels: Vec<u64> = prefixes;
+
+    let mut builder = GraphBuilder::new(coarse_n);
+    let mut coarse_weights = vec![0u64; coarse_n];
+    for v in graph.vertices() {
+        coarse_weights[fine_to_coarse[v as usize] as usize] += graph.vertex_weight(v);
+    }
+    for (c, &w) in coarse_weights.iter().enumerate() {
+        builder.set_vertex_weight(c as NodeId, w);
+    }
+    for (u, v, w) in graph.edges() {
+        let (cu, cv) = (fine_to_coarse[u as usize], fine_to_coarse[v as usize]);
+        if cu != cv {
+            builder.add_edge(cu, cv, w);
+        }
+    }
+    (builder.build(), coarse_labels, fine_to_coarse)
+}
+
+/// Builds the full hierarchy for one permutation round: alternating swap
+/// sweeps and contractions until the labels have only two digits left
+/// (Algorithm 1, lines 9–14). `p_mask`/`e_mask` are the PE/extension digit
+/// masks *in the permuted label space*; they are truncated alongside the
+/// labels on coarser levels. `threads > 1` parallelizes the level-1 sweep
+/// (the by far most expensive one).
+pub fn build_hierarchy(
+    graph: &Graph,
+    labels: Vec<u64>,
+    dim: usize,
+    p_mask: u64,
+    e_mask: u64,
+    threads: usize,
+) -> HierarchyRun {
+    let mut levels: Vec<Level> = Vec::new();
+    let mut total_swaps = 0usize;
+    let mut current_graph = graph.clone();
+    let mut current_labels = labels;
+
+    // Paper: for i = 2 .. dim_Ga - 1; sweep on G^{i-1}, contract into G^i.
+    let rounds = dim.saturating_sub(2);
+    for round in 0..rounds {
+        let (pm, em) = (p_mask >> round, e_mask >> round);
+        total_swaps += if round == 0 && threads > 1 {
+            parallel_sweep(&current_graph, &mut current_labels, pm, em, threads)
+        } else {
+            sweep(&current_graph, &mut current_labels, pm, em)
+        };
+        let (coarse_graph, coarse_labels, fine_to_coarse) =
+            contract_level(&current_graph, &current_labels);
+        levels.push(Level {
+            graph: current_graph,
+            labels: current_labels,
+            fine_to_coarse,
+        });
+        current_graph = coarse_graph;
+        current_labels = coarse_labels;
+    }
+    // Coarsest level (no further contraction).
+    levels.push(Level { graph: current_graph, labels: current_labels, fine_to_coarse: Vec::new() });
+    HierarchyRun { levels, total_swaps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::objective_for_labels;
+    use tie_graph::generators;
+
+    /// A small instance with unique 4-digit labels on an 8-vertex graph.
+    fn toy() -> (Graph, Vec<u64>) {
+        let g = generators::cycle_graph(8);
+        // Unique labels 0..8 (4 digits: one "extension" digit + 3 "PE" digits).
+        let labels: Vec<u64> = (0..8u64).collect();
+        (g, labels)
+    }
+
+    #[test]
+    fn swap_pairs_are_disjoint_and_complete() {
+        let labels: Vec<u64> = vec![0b000, 0b001, 0b010, 0b100, 0b101, 0b111];
+        let pairs = swap_pairs(&labels);
+        // Prefixes: 00 -> (0,1), 01 -> (2) unpaired, 10 -> (3,4), 11 -> (5) unpaired.
+        assert_eq!(pairs.len(), 2);
+        let mut used = std::collections::HashSet::new();
+        for (a, b) in &pairs {
+            assert!(used.insert(*a));
+            assert!(used.insert(*b));
+            assert_eq!(labels[*a as usize] >> 1, labels[*b as usize] >> 1);
+            assert_ne!(labels[*a as usize], labels[*b as usize]);
+        }
+    }
+
+    #[test]
+    fn sweep_never_increases_objective() {
+        let (g, labels) = toy();
+        let p_mask = 0b1110;
+        let e_mask = 0b0001;
+        let mut l = labels.clone();
+        let before = objective_for_labels(&g, &l, p_mask, e_mask);
+        let swaps = sweep(&g, &mut l, p_mask, e_mask);
+        let after = objective_for_labels(&g, &l, p_mask, e_mask);
+        assert!(after <= before, "sweep must not worsen the objective");
+        if swaps == 0 {
+            assert_eq!(after, before);
+        }
+        // The label multiset is preserved.
+        let mut sl = l.clone();
+        sl.sort_unstable();
+        assert_eq!(sl, (0..8u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contraction_merges_pairs_and_cuts_digit() {
+        let (g, labels) = toy();
+        let (cg, cl, f2c) = contract_level(&g, &labels);
+        assert_eq!(cg.num_vertices(), 4);
+        assert_eq!(cl, vec![0, 1, 2, 3]);
+        assert_eq!(f2c, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(cg.total_vertex_weight(), g.total_vertex_weight());
+        // Cycle of 8 contracted along consecutive pairs is a cycle of 4.
+        assert_eq!(cg.num_edges(), 4);
+    }
+
+    #[test]
+    fn contraction_keeps_unpaired_vertices() {
+        let g = generators::path_graph(3);
+        let labels = vec![0b00u64, 0b01, 0b10];
+        let (cg, cl, f2c) = contract_level(&g, &labels);
+        assert_eq!(cg.num_vertices(), 2);
+        assert_eq!(cl, vec![0, 1]);
+        assert_eq!(f2c, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn hierarchy_has_expected_depth_and_sizes() {
+        let (g, labels) = toy();
+        let dim = 4;
+        let run = build_hierarchy(&g, labels, dim, 0b1110, 0b0001, 1);
+        // dim - 1 = 3 levels: 8, 4, 2 vertices.
+        assert_eq!(run.levels.len(), 3);
+        assert_eq!(run.levels[0].graph.num_vertices(), 8);
+        assert_eq!(run.levels[1].graph.num_vertices(), 4);
+        assert_eq!(run.levels[2].graph.num_vertices(), 2);
+        // Coarsest labels have 2 digits.
+        assert!(run.levels[2].labels.iter().all(|&l| l < 4));
+        // fine_to_coarse chains are consistent. (Note: the coarse level's
+        // stored labels may have been swapped by its own sweep afterwards, so
+        // only structural consistency is checked here, not label prefixes.)
+        for j in 0..run.levels.len() - 1 {
+            let lvl = &run.levels[j];
+            let next = &run.levels[j + 1];
+            assert_eq!(lvl.fine_to_coarse.len(), lvl.graph.num_vertices());
+            for &c in lvl.fine_to_coarse.iter() {
+                assert!((c as usize) < next.graph.num_vertices());
+            }
+            // Labels are unique on every level.
+            let mut labels = next.labels.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), next.graph.num_vertices());
+        }
+    }
+
+    #[test]
+    fn hierarchy_on_two_digit_labels_is_single_level() {
+        let g = generators::path_graph(4);
+        let labels = vec![0u64, 1, 2, 3];
+        let run = build_hierarchy(&g, labels.clone(), 2, 0b10, 0b01, 1);
+        assert_eq!(run.levels.len(), 1);
+        assert_eq!(run.levels[0].labels, labels);
+        assert_eq!(run.total_swaps, 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! # tie-timer
+//!
+//! TIMER — Topology-Induced Mapping EnhanceR — the core contribution of
+//! "Topology-induced Enhancement of Mappings" (Glantz, Predari, Meyerhenke;
+//! ICPP 2018), implemented natively in Rust.
+//!
+//! TIMER improves a given mapping `µ : Va -> Vp` of an application graph onto
+//! a processor graph that is a *partial cube*. The pipeline is:
+//!
+//! 1. Label the PEs with bitvectors so that graph distance in `Gp` equals
+//!    Hamming distance between labels (`tie-topology`).
+//! 2. Transfer the labels to the application vertices via `µ` and extend them
+//!    with per-block extension bits so they become unique on `Va`
+//!    ([`labeling`], Section 4 of the paper).
+//! 3. Optimize the extended objective `Coco⁺ = Coco − Div` ([`objective`],
+//!    Section 5) by swapping labels between application vertices inside many
+//!    diverse hierarchies obtained from random permutations of the label
+//!    digits ([`hierarchy`], [`assemble`], [`driver`], Section 6).
+//!
+//! The entry point is [`Timer::enhance`] (or the convenience function
+//! [`enhance_mapping`]). The result carries both the improved mapping and
+//! before/after objective values.
+
+pub mod assemble;
+pub mod driver;
+pub mod hierarchy;
+pub mod labeling;
+pub mod objective;
+pub mod parallel;
+pub mod refinement;
+
+pub use driver::{enhance_mapping, Timer, TimerResult};
+pub use labeling::Labeling;
+pub use objective::{coco, coco_plus, diversity};
+pub use refinement::{polish, PolishStats};
+
+/// Configuration of the TIMER search.
+#[derive(Clone, Debug)]
+pub struct TimerConfig {
+    /// Number of random hierarchies `NH` to try (the paper uses 50; 10 is
+    /// often enough, see Section 7.2).
+    pub num_hierarchies: usize,
+    /// Seed for hierarchy permutations and the extension-label shuffle.
+    pub seed: u64,
+    /// If false, the diversity term `Div` is dropped and plain `Coco` is
+    /// optimized (ablation of the Section 5 extension).
+    pub use_diversity: bool,
+    /// Number of worker threads for the level-1 swap sweeps (1 = sequential,
+    /// the paper's setting; >1 exercises the outlook of Section 6.3).
+    pub threads: usize,
+}
+
+impl Default for TimerConfig {
+    fn default() -> Self {
+        TimerConfig { num_hierarchies: 50, seed: 0, use_diversity: true, threads: 1 }
+    }
+}
+
+impl TimerConfig {
+    /// Config with the given number of hierarchies and seed, the defaults
+    /// otherwise.
+    pub fn new(num_hierarchies: usize, seed: u64) -> Self {
+        TimerConfig { num_hierarchies, seed, ..Default::default() }
+    }
+
+    /// Disables the diversity term (optimize plain Coco).
+    pub fn without_diversity(mut self) -> Self {
+        self.use_diversity = false;
+        self
+    }
+
+    /// Enables the thread-parallel level-1 sweep.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the TIMER invariants on randomized instances:
+//! the label set (and hence the balance of µ) is always preserved, the
+//! accepted objective never worsens, labels stay unique, and the label-based
+//! Coco always equals the distance-based Coco.
+
+use proptest::prelude::*;
+
+use tie_graph::traversal::all_pairs_distances;
+use tie_graph::{generators, Graph};
+use tie_mapping::Mapping;
+use tie_partition::{partition, PartitionConfig};
+use tie_timer::{coco, enhance_mapping, Labeling, TimerConfig};
+use tie_topology::{recognize_partial_cube, Topology};
+
+/// Random small instance: a BA network, one of the small topologies, and a
+/// partition-based initial mapping with a scrambled block-to-PE bijection.
+fn instance(n: usize, topo_idx: usize, seed: u64) -> (Graph, Topology, Mapping) {
+    let ga = generators::barabasi_albert(n, 3, seed);
+    let topologies = [
+        Topology::grid2d(4, 4),
+        Topology::torus2d(4, 4),
+        Topology::hypercube(4),
+        Topology::grid3d(2, 2, 4),
+    ];
+    let topo = topologies[topo_idx % topologies.len()].clone();
+    let k = topo.num_pes();
+    let part = partition(&ga, &PartitionConfig::new(k, seed));
+    let nu = generators::random_permutation(k, seed ^ 0xabcd);
+    let mapping = Mapping::from_partition(&part, &nu, k);
+    (ga, topo, mapping)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// TIMER preserves the load multiset (balance), keeps labels unique and
+    /// never worsens Coco+.
+    #[test]
+    fn timer_invariants(
+        n in 100..400usize,
+        topo_idx in 0..4usize,
+        seed in 0..200u64,
+        nh in 1..6usize,
+    ) {
+        let (ga, topo, mapping) = instance(n, topo_idx, seed);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, seed));
+
+        // Balance preservation.
+        let mut before = mapping.load_per_pe();
+        let mut after = result.mapping.load_per_pe();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+
+        // Monotone accepted objective.
+        prop_assert!(result.final_coco_plus <= result.initial_coco_plus);
+
+        // Unique labels.
+        prop_assert!(result.labeling.is_unique());
+
+        // Label-based Coco agrees with the distance-based definition.
+        let dist = all_pairs_distances(&topo.graph);
+        let expected: u64 = ga
+            .edges()
+            .map(|(u, v, w)| w * dist.get(result.mapping.pe_of(u), result.mapping.pe_of(v)) as u64)
+            .sum();
+        prop_assert_eq!(result.final_coco, expected);
+    }
+
+    /// The initial labeling is always a valid encoding of the mapping,
+    /// regardless of the extension-shuffle seed.
+    #[test]
+    fn labeling_encoding_roundtrip(n in 50..300usize, seed in 0..500u64, shuffle in 0..500u64) {
+        let (ga, topo, mapping) = instance(n, (seed % 4) as usize, seed);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, shuffle);
+        prop_assert!(labeling.is_unique());
+        prop_assert_eq!(labeling.to_mapping(), mapping.clone());
+        prop_assert_eq!(coco(&ga, &labeling), {
+            let dist = all_pairs_distances(&topo.graph);
+            ga.edges()
+                .map(|(u, v, w)| w * dist.get(mapping.pe_of(u), mapping.pe_of(v)) as u64)
+                .sum::<u64>()
+        });
+    }
+
+    /// The polish pass (refinement extension) preserves the label set and
+    /// never worsens the objective, for any instance and sweep count.
+    #[test]
+    fn polish_invariants(n in 100..300usize, seed in 0..100u64, sweeps in 1..4usize) {
+        let (ga, topo, mapping) = instance(n, (seed % 4) as usize, seed);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let mut labeling = Labeling::from_mapping(&ga, &pcube, &mapping, seed);
+        let set_before = labeling.sorted_label_set();
+        let obj_before = tie_timer::coco_plus(&ga, &labeling);
+        tie_timer::polish(&ga, &mut labeling, true, sweeps);
+        prop_assert_eq!(labeling.sorted_label_set(), set_before);
+        prop_assert!(tie_timer::coco_plus(&ga, &labeling) <= obj_before);
+        prop_assert!(labeling.is_unique());
+    }
+}

@@ -1,0 +1,194 @@
+//! Permutation-induced hierarchies on the PEs (Section 2, Figure 2).
+//!
+//! Given a partial-cube labelling of `Gp` and a permutation π of the label
+//! digits, the equivalence relation `u ∼_{π,i} v ⇔` "the first `i` permuted
+//! digits of the labels agree" produces a hierarchy of increasingly coarse
+//! partitions `(P_dim, …, P_1)`. Different permutations yield very different
+//! hierarchies — that diversity is what the TIMER search exploits.
+
+use std::collections::HashMap;
+
+use crate::label::{bit, Label};
+
+/// A hierarchy of partitions of a labelled vertex set, induced by a digit
+/// permutation.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    labels: Vec<Label>,
+    dim: usize,
+    /// `perm[i]` is the original digit that provides the `i`-th digit of the
+    /// permuted label (0-based, 0 = most significant group level).
+    perm: Vec<usize>,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy from labels of dimension `dim` and a permutation
+    /// of `0..dim`. The identity permutation corresponds to grouping by the
+    /// most significant original digit first (digit `dim - 1`), matching the
+    /// paper's convention that level 1 groups by the first label character.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..dim`.
+    pub fn new(labels: Vec<Label>, dim: usize, perm: Vec<usize>) -> Self {
+        assert_eq!(perm.len(), dim, "permutation length must equal label dimension");
+        let mut check: Vec<usize> = perm.clone();
+        check.sort_unstable();
+        assert_eq!(check, (0..dim).collect::<Vec<_>>(), "perm must be a permutation of 0..dim");
+        Hierarchy { labels, dim, perm }
+    }
+
+    /// Convenience constructor with the identity permutation.
+    pub fn identity(labels: Vec<Label>, dim: usize) -> Self {
+        let perm = (0..dim).rev().collect();
+        Hierarchy { labels, dim, perm }
+    }
+
+    /// Number of levels (equals the label dimension). Level `i` (1-based)
+    /// groups vertices by their first `i` permuted digits; level 0 is the
+    /// single all-encompassing block.
+    pub fn num_levels(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of labelled vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The key of vertex `v` at level `i`: its first `i` permuted digits,
+    /// packed most-significant-first.
+    fn key_at_level(&self, v: usize, level: usize) -> u64 {
+        let mut key = 0u64;
+        for j in 0..level {
+            key = (key << 1) | bit(self.labels[v], self.perm[j]);
+        }
+        key
+    }
+
+    /// Partition at level `i` (0 ≤ i ≤ dim): returns, for every vertex, a
+    /// dense block id. Level 0 puts everything in block 0; level `dim`
+    /// separates every distinct label.
+    pub fn partition_at_level(&self, level: usize) -> Vec<u32> {
+        assert!(level <= self.dim, "level {level} exceeds dimension {}", self.dim);
+        let mut block_of_key: HashMap<u64, u32> = HashMap::new();
+        let mut out = Vec::with_capacity(self.labels.len());
+        for v in 0..self.labels.len() {
+            let key = self.key_at_level(v, level);
+            let next = block_of_key.len() as u32;
+            let id = *block_of_key.entry(key).or_insert(next);
+            out.push(id);
+        }
+        out
+    }
+
+    /// Number of blocks at the given level.
+    pub fn num_blocks_at_level(&self, level: usize) -> usize {
+        let p = self.partition_at_level(level);
+        p.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0)
+    }
+
+    /// Checks that consecutive levels refine each other: any two vertices in
+    /// the same block at level `i + 1` are also together at level `i`.
+    pub fn is_proper_hierarchy(&self) -> bool {
+        for level in 0..self.dim {
+            let coarse = self.partition_at_level(level);
+            let fine = self.partition_at_level(level + 1);
+            let mut coarse_of_fine: HashMap<u32, u32> = HashMap::new();
+            for v in 0..self.labels.len() {
+                match coarse_of_fine.get(&fine[v]) {
+                    None => {
+                        coarse_of_fine.insert(fine[v], coarse[v]);
+                    }
+                    Some(&c) if c != coarse[v] => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::Topology;
+    use crate::partial_cube::recognize_partial_cube;
+
+    /// Builds the Figure-2 setting: the 4-dimensional hypercube with its
+    /// natural labels (vertex id = label).
+    fn hypercube4_labels() -> (Vec<Label>, usize) {
+        let t = Topology::hypercube(4);
+        let labeling = recognize_partial_cube(&t.graph).unwrap();
+        (labeling.labels, labeling.dim)
+    }
+
+    #[test]
+    fn level_block_counts_double() {
+        let (labels, dim) = hypercube4_labels();
+        let h = Hierarchy::identity(labels, dim);
+        // Figure 2: level i has 2^i blocks for the 4-D hypercube.
+        for level in 0..=4usize {
+            assert_eq!(h.num_blocks_at_level(level), 1 << level);
+        }
+    }
+
+    #[test]
+    fn opposite_permutations_give_different_partitions() {
+        let (labels, dim) = hypercube4_labels();
+        let fwd = Hierarchy::new(labels.clone(), dim, (0..dim).collect());
+        let rev = Hierarchy::new(labels, dim, (0..dim).rev().collect());
+        // Both are proper hierarchies …
+        assert!(fwd.is_proper_hierarchy());
+        assert!(rev.is_proper_hierarchy());
+        // … but group differently at intermediate levels (Figure 2, top vs
+        // bottom): at level 1 the forward hierarchy splits on a different
+        // digit than the reverse one.
+        let p_fwd = fwd.partition_at_level(1);
+        let p_rev = rev.partition_at_level(1);
+        assert_ne!(p_fwd, p_rev);
+        // Finest level always separates all 16 distinct labels.
+        assert_eq!(fwd.num_blocks_at_level(4), 16);
+        assert_eq!(rev.num_blocks_at_level(4), 16);
+    }
+
+    #[test]
+    fn level_zero_is_single_block() {
+        let (labels, dim) = hypercube4_labels();
+        let h = Hierarchy::identity(labels, dim);
+        let p = h.partition_at_level(0);
+        assert!(p.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn hierarchy_on_grid_labels() {
+        let t = Topology::grid2d(4, 4);
+        let labeling = recognize_partial_cube(&t.graph).unwrap();
+        let perm: Vec<usize> = (0..labeling.dim).collect();
+        let h = Hierarchy::new(labeling.labels, labeling.dim, perm);
+        assert!(h.is_proper_hierarchy());
+        // A 4x4 grid has 16 distinct labels at the finest level.
+        assert_eq!(h.num_blocks_at_level(h.num_levels()), 16);
+        // Block counts are monotone in the level.
+        let mut prev = 1;
+        for level in 0..=h.num_levels() {
+            let cur = h.num_blocks_at_level(level);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_permutation() {
+        let (labels, dim) = hypercube4_labels();
+        let _ = Hierarchy::new(labels, dim, vec![0; dim]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_level_beyond_dim() {
+        let (labels, dim) = hypercube4_labels();
+        let h = Hierarchy::identity(labels, dim);
+        let _ = h.partition_at_level(dim + 1);
+    }
+}
