@@ -9,7 +9,10 @@ use tie_partition::{partition, PartitionConfig};
 use tie_topology::Topology;
 
 fn baselines(c: &mut Criterion) {
-    let spec = paper_networks().into_iter().find(|s| s.name == "email-EuAll").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "email-EuAll")
+        .unwrap();
     let ga = spec.build(Scale::Tiny);
     let topo = Topology::grid2d(8, 8);
     let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 1));
@@ -17,10 +20,18 @@ fn baselines(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mapping_baselines");
     group.sample_size(10);
-    group.bench_function("identity", |b| b.iter(|| identity_mapping(&part, topo.num_pes())));
-    group.bench_function("greedy_allc", |b| b.iter(|| greedy::greedy_allc(&gc, &topo.graph)));
-    group.bench_function("greedy_min", |b| b.iter(|| greedy::greedy_min(&gc, &topo.graph)));
-    group.bench_function("drb", |b| b.iter(|| drb::dual_recursive_bisection(&gc, &topo.graph, 3)));
+    group.bench_function("identity", |b| {
+        b.iter(|| identity_mapping(&part, topo.num_pes()))
+    });
+    group.bench_function("greedy_allc", |b| {
+        b.iter(|| greedy::greedy_allc(&gc, &topo.graph))
+    });
+    group.bench_function("greedy_min", |b| {
+        b.iter(|| greedy::greedy_min(&gc, &topo.graph))
+    });
+    group.bench_function("drb", |b| {
+        b.iter(|| drb::dual_recursive_bisection(&gc, &topo.graph, 3))
+    });
     group.bench_function("ncm_swap_refinement", |b| {
         b.iter(|| {
             let mut nu: Vec<u32> = (0..topo.num_pes() as u32).collect();

@@ -9,7 +9,10 @@ use tie_partition::{partition, PartitionConfig};
 /// Partitioning one network into k blocks for the k values of Table 3
 /// (scaled down: 64 and 128 blocks).
 fn partition_by_k(c: &mut Criterion) {
-    let spec = paper_networks().into_iter().find(|s| s.name == "as-22july06").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "as-22july06")
+        .unwrap();
     let ga = spec.build(Scale::Tiny);
     let mut group = c.benchmark_group("partition_by_k");
     group.sample_size(10);

@@ -27,17 +27,24 @@ fn partial_cube_recognition(c: &mut Criterion) {
 fn generators_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
     group.sample_size(10);
-    group.bench_function("barabasi_albert_4k", |b| b.iter(|| generators::barabasi_albert(4000, 4, 1)));
+    group.bench_function("barabasi_albert_4k", |b| {
+        b.iter(|| generators::barabasi_albert(4000, 4, 1))
+    });
     group.bench_function("rmat_scale12", |b| {
         b.iter(|| generators::rmat(12, 8, (0.57, 0.19, 0.19, 0.05), 1))
     });
-    group.bench_function("watts_strogatz_4k", |b| b.iter(|| generators::watts_strogatz(4000, 6, 0.1, 1)));
+    group.bench_function("watts_strogatz_4k", |b| {
+        b.iter(|| generators::watts_strogatz(4000, 6, 0.1, 1))
+    });
     group.finish();
 }
 
 /// Metric evaluation cost (dominates the harness outside of TIMER itself).
 fn metrics_bench(c: &mut Criterion) {
-    let spec = paper_networks().into_iter().find(|s| s.name == "web-Google").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "web-Google")
+        .unwrap();
     let ga = spec.build(Scale::Tiny);
     let topo = Topology::grid2d(8, 8);
     let assignment: Vec<u32> = (0..ga.num_vertices() as u32).map(|v| v % 64).collect();
@@ -45,9 +52,16 @@ fn metrics_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics");
     group.sample_size(10);
     group.bench_function("coco", |b| b.iter(|| coco(&ga, &topo.graph, &mapping)));
-    group.bench_function("congestion", |b| b.iter(|| congestion(&ga, &topo.graph, &mapping)));
+    group.bench_function("congestion", |b| {
+        b.iter(|| congestion(&ga, &topo.graph, &mapping))
+    });
     group.finish();
 }
 
-criterion_group!(benches, partial_cube_recognition, generators_bench, metrics_bench);
+criterion_group!(
+    benches,
+    partial_cube_recognition,
+    generators_bench,
+    metrics_bench
+);
 criterion_main!(benches);

@@ -10,9 +10,16 @@ use tie_partition::{partition, PartitionConfig};
 use tie_timer::{enhance_mapping, TimerConfig};
 use tie_topology::{recognize_partial_cube, Topology};
 
-fn bench_instance() -> (tie_graph::Graph, tie_topology::PartialCubeLabeling, tie_mapping::Mapping, Topology)
-{
-    let spec = paper_networks().into_iter().find(|s| s.name == "PGPgiantcompo").unwrap();
+fn bench_instance() -> (
+    tie_graph::Graph,
+    tie_topology::PartialCubeLabeling,
+    tie_mapping::Mapping,
+    Topology,
+) {
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "PGPgiantcompo")
+        .unwrap();
     let ga = spec.build(Scale::Tiny);
     let topo = Topology::grid2d(8, 8);
     let pcube = recognize_partial_cube(&topo.graph).unwrap();
@@ -44,7 +51,14 @@ fn objective_ablation(c: &mut Criterion) {
         b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 1)));
     });
     group.bench_function("coco_only", |b| {
-        b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 1).without_diversity()));
+        b.iter(|| {
+            enhance_mapping(
+                &ga,
+                &pcube,
+                &mapping,
+                TimerConfig::new(5, 1).without_diversity(),
+            )
+        });
     });
     group.finish();
 }
@@ -56,7 +70,14 @@ fn parallel_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 2).with_threads(t)));
+            b.iter(|| {
+                enhance_mapping(
+                    &ga,
+                    &pcube,
+                    &mapping,
+                    TimerConfig::new(5, 2).with_threads(t),
+                )
+            });
         });
     }
     group.finish();
@@ -64,7 +85,10 @@ fn parallel_sweep(c: &mut Criterion) {
 
 /// Per-topology cost of one TIMER run (the rows of Table 2 / Figure 5).
 fn per_topology(c: &mut Criterion) {
-    let spec = paper_networks().into_iter().find(|s| s.name == "p2p-Gnutella").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "p2p-Gnutella")
+        .unwrap();
     let ga = spec.build(Scale::Tiny);
     let mut group = c.benchmark_group("timer_per_topology");
     group.sample_size(10);
@@ -79,5 +103,11 @@ fn per_topology(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, nh_sweep, objective_ablation, parallel_sweep, per_topology);
+criterion_group!(
+    benches,
+    nh_sweep,
+    objective_ablation,
+    parallel_sweep,
+    per_topology
+);
 criterion_main!(benches);

@@ -9,14 +9,16 @@
 use tie_bench::experiment::ExperimentCase;
 use tie_bench::harness::{quality_rows, run_sweep};
 use tie_bench::report::format_quality_table;
-use tie_bench::{parse_options, paper_networks, quick_networks};
+use tie_bench::{paper_networks, parse_options, quick_networks};
 use tie_topology::Topology;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = parse_options(&args);
     let full_networks = args.iter().any(|a| a == "--full" || a == "--all-networks");
-    let paper_topos = args.iter().any(|a| a == "--full" || a == "--paper-topologies");
+    let paper_topos = args
+        .iter()
+        .any(|a| a == "--full" || a == "--paper-topologies");
     let selected_case = args
         .iter()
         .position(|a| a == "--case")
@@ -29,9 +31,16 @@ fn main() {
             other => panic!("unknown case {other:?} (use c1|c2|c3|c4)"),
         });
 
-    let networks = if full_networks { paper_networks() } else { quick_networks() };
-    let topologies =
-        if paper_topos { Topology::paper_topologies() } else { Topology::small_topologies() };
+    let networks = if full_networks {
+        paper_networks()
+    } else {
+        quick_networks()
+    };
+    let topologies = if paper_topos {
+        Topology::paper_topologies()
+    } else {
+        Topology::small_topologies()
+    };
 
     let cases: Vec<ExperimentCase> = match selected_case {
         Some(c) => vec![c],
@@ -56,7 +65,11 @@ fn main() {
         eprintln!("running case {} ...", case.name());
         let cells = run_sweep(&networks, &topologies, case, &options);
         let rows = quality_rows(&cells, &topologies);
-        println!("--- Figure {} — initial mapping: {} ---", figure_letter(case), case.name());
+        println!(
+            "--- Figure {} — initial mapping: {} ---",
+            figure_letter(case),
+            case.name()
+        );
         println!("{}", format_quality_table(case.id(), &rows));
     }
 }

@@ -24,9 +24,7 @@ use tie_topology::{recognize_partial_cube, Topology};
 
 fn parse_topology(spec: &str) -> Topology {
     let lower = spec.to_lowercase();
-    let dims = |s: &str| -> Vec<usize> {
-        s.split('x').filter_map(|t| t.parse().ok()).collect()
-    };
+    let dims = |s: &str| -> Vec<usize> { s.split('x').filter_map(|t| t.parse().ok()).collect() };
     if let Some(rest) = lower.strip_prefix("grid") {
         let d = dims(rest);
         return match d.len() {
@@ -56,16 +54,25 @@ fn parse_topology(spec: &str) -> Topology {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let graph_path = flag_value(&args, "--graph");
     let topology_spec = flag_value(&args, "--topology").unwrap_or("grid8x8");
-    let nh: usize = flag_value(&args, "--nh").map(|v| v.parse().unwrap()).unwrap_or(50);
-    let eps: f64 = flag_value(&args, "--eps").map(|v| v.parse().unwrap()).unwrap_or(0.03);
-    let seed: u64 = flag_value(&args, "--seed").map(|v| v.parse().unwrap()).unwrap_or(1);
+    let nh: usize = flag_value(&args, "--nh")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(50);
+    let eps: f64 = flag_value(&args, "--eps")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(0.03);
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(1);
     let case = flag_value(&args, "--case").unwrap_or("c2");
     let out = flag_value(&args, "--out");
 
@@ -103,8 +110,12 @@ fn main() {
 
     let (initial, enhanced): (Mapping, Mapping) = match experiment_case {
         Some(c) => {
-            let config =
-                ExperimentConfig { num_hierarchies: nh, epsilon: eps, seed, threads: 1 };
+            let config = ExperimentConfig {
+                num_hierarchies: nh,
+                epsilon: eps,
+                seed,
+                threads: 1,
+            };
             let result = run_case(&ga, &topo, c, &config);
             eprintln!(
                 "case {}: Coco {} -> {} ({} accepted hierarchies)",
@@ -116,10 +127,15 @@ fn main() {
             // Re-run the pipeline pieces to obtain the mappings themselves.
             let part = partition(
                 &ga,
-                &PartitionConfig { epsilon: eps, ..PartitionConfig::new(topo.num_pes(), seed) },
+                &PartitionConfig {
+                    epsilon: eps,
+                    ..PartitionConfig::new(topo.num_pes(), seed)
+                },
             );
             let initial = match c {
-                ExperimentCase::C1Drb => tie_mapping::drb::drb_mapping(&ga, &part, &topo.graph, seed),
+                ExperimentCase::C1Drb => {
+                    tie_mapping::drb::drb_mapping(&ga, &part, &topo.graph, seed)
+                }
                 ExperimentCase::C3GreedyAllC => {
                     tie_mapping::greedy::greedy_allc_mapping(&ga, &part, &topo.graph)
                 }
@@ -128,17 +144,22 @@ fn main() {
                 }
                 ExperimentCase::C2Identity => identity_mapping(&part, topo.num_pes()),
             };
-            let pcube = recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
+            let pcube =
+                recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
             let res = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(nh, seed));
             (initial, res.mapping)
         }
         None => {
             let part = partition(
                 &ga,
-                &PartitionConfig { epsilon: eps, ..PartitionConfig::new(topo.num_pes(), seed) },
+                &PartitionConfig {
+                    epsilon: eps,
+                    ..PartitionConfig::new(topo.num_pes(), seed)
+                },
             );
             let initial = identity_mapping(&part, topo.num_pes());
-            let pcube = recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
+            let pcube =
+                recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
             let res = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(nh, seed));
             (initial, res.mapping)
         }
@@ -148,9 +169,18 @@ fn main() {
     let after = evaluate(&ga, &topo.graph, &enhanced);
     println!("{:<18} {:>14} {:>14}", "metric", "initial", "after TIMER");
     println!("{:<18} {:>14} {:>14}", "Coco", before.coco, after.coco);
-    println!("{:<18} {:>14} {:>14}", "edge cut", before.edge_cut, after.edge_cut);
-    println!("{:<18} {:>14} {:>14}", "congestion", before.congestion, after.congestion);
-    println!("{:<18} {:>14.4} {:>14.4}", "imbalance", before.imbalance, after.imbalance);
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "edge cut", before.edge_cut, after.edge_cut
+    );
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "congestion", before.congestion, after.congestion
+    );
+    println!(
+        "{:<18} {:>14.4} {:>14.4}",
+        "imbalance", before.imbalance, after.imbalance
+    );
 
     if let Some(path) = out {
         let mut content = String::new();

@@ -8,7 +8,9 @@ use std::time::Instant;
 
 use tie_bench::experiment::ExperimentCase;
 use tie_bench::harness::{quality_rows, run_sweep, timing_rows};
-use tie_bench::report::{format_inventory, format_partition_times, format_quality_table, format_timing_table};
+use tie_bench::report::{
+    format_inventory, format_partition_times, format_quality_table, format_timing_table,
+};
 use tie_bench::{parse_options, quick_networks};
 use tie_partition::{partition, PartitionConfig};
 use tie_topology::Topology;
@@ -36,7 +38,12 @@ fn main() {
         .iter()
         .map(|spec| {
             let g = spec.build(options.scale);
-            (spec.name.to_string(), g.num_vertices(), g.num_edges(), spec.description.to_string())
+            (
+                spec.name.to_string(),
+                g.num_vertices(),
+                g.num_edges(),
+                spec.description.to_string(),
+            )
         })
         .collect();
     println!("{}", format_inventory(&rows));
@@ -48,8 +55,10 @@ fn main() {
         let g = spec.build(options.scale);
         let mut times = [0.0f64; 2];
         for (slot, k) in [(0usize, 64usize), (1, 128)] {
-            let cfg =
-                PartitionConfig { epsilon: options.epsilon, ..PartitionConfig::new(k, spec.seed) };
+            let cfg = PartitionConfig {
+                epsilon: options.epsilon,
+                ..PartitionConfig::new(k, spec.seed)
+            };
             let t = Instant::now();
             let _ = partition(&g, &cfg);
             times[slot] = t.elapsed().as_secs_f64();
@@ -69,5 +78,8 @@ fn main() {
         per_case.push((case, cells));
     }
     println!("--- Table 2: running-time quotients ---");
-    println!("{}", format_timing_table(&timing_rows(&per_case, &topologies)));
+    println!(
+        "{}",
+        format_timing_table(&timing_rows(&per_case, &topologies))
+    );
 }

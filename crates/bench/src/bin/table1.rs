@@ -3,17 +3,25 @@
 //! Usage: `cargo run -p tie-bench --bin table1 --release -- [--scale tiny|small|medium]`
 
 use tie_bench::report::format_inventory;
-use tie_bench::{parse_options, paper_networks};
+use tie_bench::{paper_networks, parse_options};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = parse_options(&args);
-    println!("Table 1: complex networks used for benchmarking (synthetic stand-ins, scale {:?})\n", options.scale);
+    println!(
+        "Table 1: complex networks used for benchmarking (synthetic stand-ins, scale {:?})\n",
+        options.scale
+    );
     let rows: Vec<(String, usize, usize, String)> = paper_networks()
         .iter()
         .map(|spec| {
             let g = spec.build(options.scale);
-            (spec.name.to_string(), g.num_vertices(), g.num_edges(), spec.description.to_string())
+            (
+                spec.name.to_string(),
+                g.num_vertices(),
+                g.num_edges(),
+                spec.description.to_string(),
+            )
         })
         .collect();
     print!("{}", format_inventory(&rows));

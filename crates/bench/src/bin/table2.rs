@@ -10,20 +10,32 @@
 use tie_bench::experiment::ExperimentCase;
 use tie_bench::harness::{run_sweep, timing_rows};
 use tie_bench::report::format_timing_table;
-use tie_bench::{parse_options, paper_networks, quick_networks};
+use tie_bench::{paper_networks, parse_options, quick_networks};
 use tie_topology::Topology;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = parse_options(&args);
     let full_networks = args.iter().any(|a| a == "--full" || a == "--all-networks");
-    let paper_topos = args.iter().any(|a| a == "--full" || a == "--paper-topologies");
+    let paper_topos = args
+        .iter()
+        .any(|a| a == "--full" || a == "--paper-topologies");
 
-    let networks = if full_networks { paper_networks() } else { quick_networks() };
-    let topologies =
-        if paper_topos { Topology::paper_topologies() } else { Topology::small_topologies() };
+    let networks = if full_networks {
+        paper_networks()
+    } else {
+        quick_networks()
+    };
+    let topologies = if paper_topos {
+        Topology::paper_topologies()
+    } else {
+        Topology::small_topologies()
+    };
 
-    println!("Table 2: running-time quotients (scale {:?}, reps {}, NH {})\n", options.scale, options.repetitions, options.num_hierarchies);
+    println!(
+        "Table 2: running-time quotients (scale {:?}, reps {}, NH {})\n",
+        options.scale, options.repetitions, options.num_hierarchies
+    );
     let mut per_case = Vec::new();
     for case in ExperimentCase::all() {
         eprintln!("running case {} ...", case.name());

@@ -6,7 +6,7 @@
 use std::time::Instant;
 
 use tie_bench::report::format_partition_times;
-use tie_bench::{parse_options, paper_networks};
+use tie_bench::{paper_networks, parse_options};
 use tie_partition::{partition, PartitionConfig};
 
 fn main() {

@@ -80,7 +80,12 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { num_hierarchies: 50, epsilon: 0.03, seed: 1, threads: 1 }
+        ExperimentConfig {
+            num_hierarchies: 50,
+            epsilon: 0.03,
+            seed: 1,
+            threads: 1,
+        }
     }
 }
 
@@ -148,8 +153,10 @@ pub fn run_case(
         .unwrap_or_else(|e| panic!("{} is not a partial cube: {e}", topology.name));
 
     // Step 1: topology-oblivious partition (KaHIP stand-in).
-    let part_cfg =
-        PartitionConfig { epsilon: config.epsilon, ..PartitionConfig::new(num_pes, config.seed) };
+    let part_cfg = PartitionConfig {
+        epsilon: config.epsilon,
+        ..PartitionConfig::new(num_pes, config.seed)
+    };
     let t0 = Instant::now();
     let part = partition(ga, &part_cfg);
     let partition_time = t0.elapsed();
@@ -201,7 +208,10 @@ mod tests {
         let spec = &quick_networks()[0];
         let ga = spec.build(Scale::Tiny);
         let topo = Topology::grid2d(4, 4);
-        let config = ExperimentConfig { num_hierarchies: 5, ..Default::default() };
+        let config = ExperimentConfig {
+            num_hierarchies: 5,
+            ..Default::default()
+        };
         for case in ExperimentCase::all() {
             let r = run_case(&ga, &topo, case, &config);
             // TIMER accepts rounds by Coco+ (Coco - Div), so plain Coco may
@@ -215,7 +225,11 @@ mod tests {
                 r.enhanced.coco
             );
             assert!(r.coco_quotient() <= 1.05);
-            assert!(r.enhanced.imbalance <= 0.15, "imbalance {}", r.enhanced.imbalance);
+            assert!(
+                r.enhanced.imbalance <= 0.15,
+                "imbalance {}",
+                r.enhanced.imbalance
+            );
         }
     }
 
@@ -231,7 +245,10 @@ mod tests {
         let spec = &quick_networks()[1];
         let ga = spec.build(Scale::Tiny);
         let topo = Topology::hypercube(4);
-        let config = ExperimentConfig { num_hierarchies: 2, ..Default::default() };
+        let config = ExperimentConfig {
+            num_hierarchies: 2,
+            ..Default::default()
+        };
         let r = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
         assert!(r.time_quotient(Duration::from_millis(100)).is_finite());
         assert!(r.time_quotient(Duration::ZERO).is_infinite());

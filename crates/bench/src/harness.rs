@@ -106,10 +106,14 @@ pub fn run_sweep(
 
 /// Aggregates raw observations into Figure-5-style quality rows: per
 /// topology, the geometric mean over networks of the min/mean/max quotients.
+///
+/// Topologies for which the sweep produced no observations yield no row
+/// (rather than a fabricated "quotient 1.0" row that would read as "no
+/// change" in the reports).
 pub fn quality_rows(cells: &[CellObservations], topologies: &[Topology]) -> Vec<QualityRow> {
     topologies
         .iter()
-        .map(|topo| {
+        .filter_map(|topo| {
             let per_network_coco: Vec<Summary> = cells
                 .iter()
                 .filter(|c| c.topology == topo.name)
@@ -120,11 +124,11 @@ pub fn quality_rows(cells: &[CellObservations], topologies: &[Topology]) -> Vec<
                 .filter(|c| c.topology == topo.name)
                 .map(|c| Summary::of(&c.cut_quotients))
                 .collect();
-            QualityRow {
+            Some(QualityRow {
                 topology: topo.name.clone(),
-                coco: aggregate_summaries(&per_network_coco),
-                cut: aggregate_summaries(&per_network_cut),
-            }
+                coco: aggregate_summaries(&per_network_coco)?,
+                cut: aggregate_summaries(&per_network_cut)?,
+            })
         })
         .collect()
 }
@@ -145,9 +149,16 @@ pub fn timing_rows(
                     .filter(|c| c.topology == topo.name)
                     .map(|c| Summary::of(&c.time_quotients))
                     .collect();
-                case_entries.push((case.id().to_string(), aggregate_summaries(&per_network)));
+                // Cases with no observations for this topology are omitted
+                // from the row instead of showing up as "no change".
+                if let Some(agg) = aggregate_summaries(&per_network) {
+                    case_entries.push((case.id().to_string(), agg));
+                }
             }
-            TimingRow { topology: topo.name.clone(), per_case: case_entries }
+            TimingRow {
+                topology: topo.name.clone(),
+                per_case: case_entries,
+            }
         })
         .collect()
 }
@@ -230,11 +241,19 @@ mod tests {
 
     #[test]
     fn parse_options_flags() {
-        let args: Vec<String> =
-            ["--scale", "tiny", "--reps", "7", "--nh", "12", "--threads", "2"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "--scale",
+            "tiny",
+            "--reps",
+            "7",
+            "--nh",
+            "12",
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = parse_options(&args);
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.repetitions, 7);

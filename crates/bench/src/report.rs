@@ -44,7 +44,13 @@ pub fn format_quality_table(case_name: &str, rows: &[QualityRow]) -> String {
         let _ = writeln!(
             out,
             "{:<14} {:>8.4} {:>8.4} {:>8.4}   {:>8.4} {:>8.4} {:>8.4}",
-            row.topology, row.cut.min, row.cut.mean, row.cut.max, row.coco.min, row.coco.mean, row.coco.max
+            row.topology,
+            row.cut.min,
+            row.cut.mean,
+            row.cut.max,
+            row.coco.min,
+            row.coco.mean,
+            row.coco.max
         );
     }
     out
@@ -73,7 +79,11 @@ pub fn format_timing_table(rows: &[TimingRow]) -> String {
 /// Formats a Table-1-like inventory row set.
 pub fn format_inventory(rows: &[(String, usize, usize, String)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<24} {:>10} {:>12}  {}", "Name", "#vertices", "#edges", "Type");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>12}  Type",
+        "Name", "#vertices", "#edges"
+    );
     for (name, n, m, kind) in rows {
         let _ = writeln!(out, "{:<24} {:>10} {:>12}  {}", name, n, m, kind);
     }
@@ -105,7 +115,13 @@ pub fn format_partition_times(rows: &[(String, f64, f64)], k_labels: (&str, &str
     }
     if !rows.is_empty() {
         let n = rows.len() as f64;
-        let _ = writeln!(out, "{:<24} {:>12.3} {:>12.3}", "Arithmetic mean", sum_256 / n, sum_512 / n);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.3} {:>12.3}",
+            "Arithmetic mean",
+            sum_256 / n,
+            sum_512 / n
+        );
         let _ = writeln!(
             out,
             "{:<24} {:>12.3} {:>12.3}",
@@ -126,13 +142,29 @@ mod tests {
         let rows = vec![
             QualityRow {
                 topology: "grid16x16".into(),
-                cut: Summary { min: 1.01, mean: 1.05, max: 1.1 },
-                coco: Summary { min: 0.7, mean: 0.8, max: 0.9 },
+                cut: Summary {
+                    min: 1.01,
+                    mean: 1.05,
+                    max: 1.1,
+                },
+                coco: Summary {
+                    min: 0.7,
+                    mean: 0.8,
+                    max: 0.9,
+                },
             },
             QualityRow {
                 topology: "8-dimHQ".into(),
-                cut: Summary { min: 1.0, mean: 1.0, max: 1.0 },
-                coco: Summary { min: 0.9, mean: 0.95, max: 1.0 },
+                cut: Summary {
+                    min: 1.0,
+                    mean: 1.0,
+                    max: 1.0,
+                },
+                coco: Summary {
+                    min: 0.9,
+                    mean: 0.95,
+                    max: 1.0,
+                },
             },
         ];
         let s = format_quality_table("c2", &rows);
@@ -147,8 +179,22 @@ mod tests {
         let rows = vec![TimingRow {
             topology: "torus16x16".into(),
             per_case: vec![
-                ("c1".into(), Summary { min: 20.0, mean: 21.0, max: 22.0 }),
-                ("c2".into(), Summary { min: 0.5, mean: 0.6, max: 0.7 }),
+                (
+                    "c1".into(),
+                    Summary {
+                        min: 20.0,
+                        mean: 21.0,
+                        max: 22.0,
+                    },
+                ),
+                (
+                    "c2".into(),
+                    Summary {
+                        min: 0.5,
+                        mean: 0.6,
+                        max: 0.7,
+                    },
+                ),
             ],
         }];
         let s = format_timing_table(&rows);

@@ -92,21 +92,111 @@ impl NetworkSpec {
 /// The 15 networks of Table 1, with synthetic stand-ins.
 pub fn paper_networks() -> Vec<NetworkSpec> {
     vec![
-        NetworkSpec { name: "p2p-Gnutella", family: NetworkFamily::RMat, base_vertices: 400, seed: 101, description: "file-sharing network" },
-        NetworkSpec { name: "PGPgiantcompo", family: NetworkFamily::Communities, base_vertices: 640, seed: 102, description: "largest connected component in network of PGP users" },
-        NetworkSpec { name: "email-EuAll", family: NetworkFamily::SmallWorld, base_vertices: 1000, seed: 103, description: "network of connections via email" },
-        NetworkSpec { name: "as-22july06", family: NetworkFamily::RMat, base_vertices: 1400, seed: 104, description: "network of internet routers" },
-        NetworkSpec { name: "soc-Slashdot0902", family: NetworkFamily::PreferentialAttachment, base_vertices: 1700, seed: 105, description: "news network" },
-        NetworkSpec { name: "loc-brightkite_edges", family: NetworkFamily::Communities, base_vertices: 2200, seed: 106, description: "location-based friendship network" },
-        NetworkSpec { name: "loc-gowalla_edges", family: NetworkFamily::PreferentialAttachment, base_vertices: 2600, seed: 107, description: "location-based friendship network" },
-        NetworkSpec { name: "citationCiteseer", family: NetworkFamily::PreferentialAttachment, base_vertices: 3000, seed: 108, description: "citation network" },
-        NetworkSpec { name: "coAuthorsCiteseer", family: NetworkFamily::Communities, base_vertices: 2800, seed: 109, description: "citation network" },
-        NetworkSpec { name: "wiki-Talk", family: NetworkFamily::RMat, base_vertices: 2900, seed: 110, description: "network of user interactions through edits" },
-        NetworkSpec { name: "coAuthorsDBLP", family: NetworkFamily::Communities, base_vertices: 3100, seed: 111, description: "citation network" },
-        NetworkSpec { name: "web-Google", family: NetworkFamily::RMat, base_vertices: 3400, seed: 112, description: "hyperlink network of web pages" },
-        NetworkSpec { name: "coPapersCiteseer", family: NetworkFamily::PreferentialAttachment, base_vertices: 3600, seed: 113, description: "citation network" },
-        NetworkSpec { name: "coPapersDBLP", family: NetworkFamily::PreferentialAttachment, base_vertices: 3800, seed: 114, description: "citation network" },
-        NetworkSpec { name: "as-skitter", family: NetworkFamily::RMat, base_vertices: 4000, seed: 115, description: "network of internet service providers" },
+        NetworkSpec {
+            name: "p2p-Gnutella",
+            family: NetworkFamily::RMat,
+            base_vertices: 400,
+            seed: 101,
+            description: "file-sharing network",
+        },
+        NetworkSpec {
+            name: "PGPgiantcompo",
+            family: NetworkFamily::Communities,
+            base_vertices: 640,
+            seed: 102,
+            description: "largest connected component in network of PGP users",
+        },
+        NetworkSpec {
+            name: "email-EuAll",
+            family: NetworkFamily::SmallWorld,
+            base_vertices: 1000,
+            seed: 103,
+            description: "network of connections via email",
+        },
+        NetworkSpec {
+            name: "as-22july06",
+            family: NetworkFamily::RMat,
+            base_vertices: 1400,
+            seed: 104,
+            description: "network of internet routers",
+        },
+        NetworkSpec {
+            name: "soc-Slashdot0902",
+            family: NetworkFamily::PreferentialAttachment,
+            base_vertices: 1700,
+            seed: 105,
+            description: "news network",
+        },
+        NetworkSpec {
+            name: "loc-brightkite_edges",
+            family: NetworkFamily::Communities,
+            base_vertices: 2200,
+            seed: 106,
+            description: "location-based friendship network",
+        },
+        NetworkSpec {
+            name: "loc-gowalla_edges",
+            family: NetworkFamily::PreferentialAttachment,
+            base_vertices: 2600,
+            seed: 107,
+            description: "location-based friendship network",
+        },
+        NetworkSpec {
+            name: "citationCiteseer",
+            family: NetworkFamily::PreferentialAttachment,
+            base_vertices: 3000,
+            seed: 108,
+            description: "citation network",
+        },
+        NetworkSpec {
+            name: "coAuthorsCiteseer",
+            family: NetworkFamily::Communities,
+            base_vertices: 2800,
+            seed: 109,
+            description: "citation network",
+        },
+        NetworkSpec {
+            name: "wiki-Talk",
+            family: NetworkFamily::RMat,
+            base_vertices: 2900,
+            seed: 110,
+            description: "network of user interactions through edits",
+        },
+        NetworkSpec {
+            name: "coAuthorsDBLP",
+            family: NetworkFamily::Communities,
+            base_vertices: 3100,
+            seed: 111,
+            description: "citation network",
+        },
+        NetworkSpec {
+            name: "web-Google",
+            family: NetworkFamily::RMat,
+            base_vertices: 3400,
+            seed: 112,
+            description: "hyperlink network of web pages",
+        },
+        NetworkSpec {
+            name: "coPapersCiteseer",
+            family: NetworkFamily::PreferentialAttachment,
+            base_vertices: 3600,
+            seed: 113,
+            description: "citation network",
+        },
+        NetworkSpec {
+            name: "coPapersDBLP",
+            family: NetworkFamily::PreferentialAttachment,
+            base_vertices: 3800,
+            seed: 114,
+            description: "citation network",
+        },
+        NetworkSpec {
+            name: "as-skitter",
+            family: NetworkFamily::RMat,
+            base_vertices: 4000,
+            seed: 115,
+            description: "network of internet service providers",
+        },
     ]
 }
 
@@ -114,7 +204,10 @@ pub fn paper_networks() -> Vec<NetworkSpec> {
 /// and integration tests.
 pub fn quick_networks() -> Vec<NetworkSpec> {
     let all = paper_networks();
-    [0usize, 2, 4, 8, 11].iter().map(|&i| all[i].clone()).collect()
+    [0usize, 2, 4, 8, 11]
+        .iter()
+        .map(|&i| all[i].clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -135,8 +228,17 @@ mod tests {
         for spec in quick_networks() {
             let g = spec.build(Scale::Tiny);
             assert!(is_connected(&g), "{} must be connected", spec.name);
-            assert!(g.num_vertices() >= 200, "{} too small: {}", spec.name, g.num_vertices());
-            assert!(g.num_edges() >= g.num_vertices(), "{} too sparse", spec.name);
+            assert!(
+                g.num_vertices() >= 200,
+                "{} too small: {}",
+                spec.name,
+                g.num_vertices()
+            );
+            assert!(
+                g.num_edges() >= g.num_vertices(),
+                "{} too sparse",
+                spec.name
+            );
         }
     }
 

@@ -21,7 +21,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: HashMap::new(), vwgt: vec![1; n] }
+        GraphBuilder {
+            n,
+            edges: HashMap::new(),
+            vwgt: vec![1; n],
+        }
     }
 
     /// Number of vertices the builder was created with.
@@ -40,7 +44,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex id out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "vertex id out of range"
+        );
         if u == v {
             return;
         }
@@ -64,7 +71,7 @@ impl GraphBuilder {
     pub fn build(self) -> Graph {
         let n = self.n;
         let mut degree = vec![0usize; n];
-        for (&(u, v), _) in &self.edges {
+        for &(u, v) in self.edges.keys() {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
@@ -91,8 +98,11 @@ impl GraphBuilder {
         // Sort each adjacency list by neighbour id for deterministic lookups.
         for v in 0..n {
             let range = xadj[v]..xadj[v + 1];
-            let mut pairs: Vec<_> =
-                adjncy[range.clone()].iter().copied().zip(adjwgt[range.clone()].iter().copied()).collect();
+            let mut pairs: Vec<_> = adjncy[range.clone()]
+                .iter()
+                .copied()
+                .zip(adjwgt[range.clone()].iter().copied())
+                .collect();
             pairs.sort_unstable_by_key(|&(nb, _)| nb);
             for (i, (nb, w)) in pairs.into_iter().enumerate() {
                 adjncy[xadj[v] + i] = nb;
@@ -171,7 +181,15 @@ mod tests {
     #[test]
     fn symmetry_of_built_graph() {
         let mut b = GraphBuilder::new(6);
-        for (u, v, w) in [(0u32, 1u32, 3u64), (1, 2, 1), (2, 3, 2), (3, 4, 5), (4, 5, 1), (5, 0, 4), (1, 4, 2)] {
+        for (u, v, w) in [
+            (0u32, 1u32, 3u64),
+            (1, 2, 1),
+            (2, 3, 2),
+            (3, 4, 5),
+            (4, 5, 1),
+            (5, 0, 4),
+            (1, 4, 2),
+        ] {
             b.add_edge(u, v, w);
         }
         let g = b.build();

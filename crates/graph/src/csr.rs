@@ -46,15 +46,28 @@ impl Graph {
         assert!(!xadj.is_empty(), "xadj must have length n + 1 >= 1");
         let n = xadj.len() - 1;
         assert_eq!(vwgt.len(), n, "vertex weight array length mismatch");
-        assert_eq!(adjncy.len(), adjwgt.len(), "edge weight array length mismatch");
-        assert_eq!(*xadj.last().unwrap(), adjncy.len(), "last offset must equal arc count");
+        assert_eq!(
+            adjncy.len(),
+            adjwgt.len(),
+            "edge weight array length mismatch"
+        );
+        assert_eq!(
+            *xadj.last().unwrap(),
+            adjncy.len(),
+            "last offset must equal arc count"
+        );
         for w in xadj.windows(2) {
             assert!(w[0] <= w[1], "xadj offsets must be non-decreasing");
         }
         for &v in &adjncy {
             assert!((v as usize) < n, "neighbour id {v} out of range (n = {n})");
         }
-        Graph { xadj, adjncy, adjwgt, vwgt }
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
     }
 
     /// Builds an unweighted graph (all vertex and edge weights 1) from a list
@@ -124,7 +137,7 @@ impl Graph {
     /// Iterator over vertex ids `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_vertices() as NodeId).into_iter()
+        0..self.num_vertices() as NodeId
     }
 
     /// Neighbours of `v`.
@@ -144,13 +157,17 @@ impl Graph {
     /// Iterator over `(neighbour, edge_weight)` pairs of `v`.
     #[inline]
     pub fn edges_of(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.neighbor_weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_weights(v).iter().copied())
     }
 
     /// Iterator over every undirected edge `(u, v, w)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.edges_of(u).filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
+            self.edges_of(u)
+                .filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
         })
     }
 

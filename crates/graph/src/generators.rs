@@ -187,7 +187,7 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
 /// connected to its `k` nearest neighbours, with each edge rewired with
 /// probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k % 2 == 0, "watts_strogatz requires even k");
+    assert!(k.is_multiple_of(2), "watts_strogatz requires even k");
     assert!(k < n, "k must be smaller than n");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -220,7 +220,10 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
 pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
     let (a, b_p, c, d) = probs;
     let total = a + b_p + c + d;
-    assert!((total - 1.0).abs() < 1e-6, "R-MAT probabilities must sum to 1");
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "R-MAT probabilities must sum to 1"
+    );
     let n = 1usize << scale;
     let m = n * edge_factor;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -68,8 +68,14 @@ pub fn write_metis<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), IoError
 /// `0`/`00`/`000` (no weights), `1`/`001` (edge weights), `10`/`010` (vertex
 /// weights) and `11`/`011` (both). Comment lines start with `%`.
 pub fn from_metis_str(content: &str) -> Result<Graph, IoError> {
-    let mut lines = content.lines().filter(|l| !l.trim_start().starts_with('%'));
-    let header = lines
+    // Keep 1-based line numbers so parse errors can name the offending line;
+    // '%' comment lines (possibly indented) are skipped everywhere.
+    let mut lines = content
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim_start().starts_with('%'));
+    let (_, header) = lines
         .next()
         .ok_or_else(|| IoError::Parse("empty METIS file".to_string()))?;
     let head: Vec<&str> = header.split_whitespace().collect();
@@ -88,37 +94,60 @@ pub fn from_metis_str(content: &str) -> Result<Graph, IoError> {
 
     let mut builder = GraphBuilder::new(n);
     let mut vertex = 0usize;
-    for line in lines {
+    for (lineno, line) in lines {
         if vertex >= n {
-            break;
+            // Tolerate trailing whitespace-only lines after the last vertex.
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Err(IoError::Parse(format!(
+                "line {lineno}: unexpected content after all {n} vertex lines: {line:?}"
+            )));
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let mut idx = 0usize;
         if has_vwgt {
             if tokens.is_empty() {
-                return Err(IoError::Parse(format!("vertex {} missing weight", vertex + 1)));
+                return Err(IoError::Parse(format!(
+                    "line {lineno}: vertex {} missing weight",
+                    vertex + 1
+                )));
             }
-            let w: Weight = tokens[0]
-                .parse()
-                .map_err(|_| IoError::Parse(format!("bad vertex weight: {}", tokens[0])))?;
+            let w: Weight = tokens[0].parse().map_err(|_| {
+                IoError::Parse(format!("line {lineno}: bad vertex weight: {}", tokens[0]))
+            })?;
             builder.set_vertex_weight(vertex as NodeId, w);
             idx = 1;
         }
         while idx < tokens.len() {
-            let nb: usize = tokens[idx]
-                .parse()
-                .map_err(|_| IoError::Parse(format!("bad neighbour id: {}", tokens[idx])))?;
-            if nb == 0 || nb > n {
-                return Err(IoError::Parse(format!("neighbour id {nb} out of range 1..={n}")));
+            let nb: usize = tokens[idx].parse().map_err(|_| {
+                IoError::Parse(format!("line {lineno}: bad neighbour id: {}", tokens[idx]))
+            })?;
+            if nb == 0 {
+                return Err(IoError::Parse(format!(
+                    "line {lineno}: neighbour id 0 — METIS vertex ids are 1-based: {line:?}"
+                )));
+            }
+            if nb > n {
+                return Err(IoError::Parse(format!(
+                    "line {lineno}: neighbour id {nb} out of range 1..={n}: {line:?}"
+                )));
+            }
+            if nb == vertex + 1 {
+                return Err(IoError::Parse(format!(
+                    "line {lineno}: self-loop on vertex {nb}: {line:?}"
+                )));
             }
             let w: Weight = if has_ewgt {
                 idx += 1;
                 if idx >= tokens.len() {
-                    return Err(IoError::Parse("edge weight missing".to_string()));
+                    return Err(IoError::Parse(format!(
+                        "line {lineno}: edge weight missing: {line:?}"
+                    )));
                 }
-                tokens[idx]
-                    .parse()
-                    .map_err(|_| IoError::Parse(format!("bad edge weight: {}", tokens[idx])))?
+                tokens[idx].parse().map_err(|_| {
+                    IoError::Parse(format!("line {lineno}: bad edge weight: {}", tokens[idx]))
+                })?
             } else {
                 1
             };
@@ -133,7 +162,9 @@ pub fn from_metis_str(content: &str) -> Result<Graph, IoError> {
         vertex += 1;
     }
     if vertex != n {
-        return Err(IoError::Parse(format!("expected {n} vertex lines, found {vertex}")));
+        return Err(IoError::Parse(format!(
+            "expected {n} vertex lines, found {vertex}"
+        )));
     }
     let g = builder.build();
     if g.num_edges() != m {
@@ -202,9 +233,17 @@ pub fn from_edge_list_str(content: &str) -> Result<Graph, IoError> {
         max_id = max_id.max(u).max(v);
         edges.push((u, v, w));
     }
-    let n = n.unwrap_or_else(|| if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = n.unwrap_or_else(|| {
+        if edges.is_empty() {
+            0
+        } else {
+            max_id as usize + 1
+        }
+    });
     if (max_id as usize) >= n && !edges.is_empty() {
-        return Err(IoError::Parse(format!("vertex id {max_id} exceeds declared count {n}")));
+        return Err(IoError::Parse(format!(
+            "vertex id {max_id} exceeds declared count {n}"
+        )));
     }
     let mut builder = GraphBuilder::new(n);
     for (u, v, w) in edges {
@@ -258,6 +297,47 @@ mod tests {
     fn metis_rejects_bad_neighbor() {
         let content = "2 1\n3\n1\n";
         assert!(from_metis_str(content).is_err());
+    }
+
+    #[test]
+    fn metis_tolerates_interspersed_comments_and_trailing_whitespace() {
+        // Comments between vertex lines, trailing spaces on body lines and
+        // whitespace-only lines after the last vertex must all parse.
+        let content =
+            "% header comment\n3 2 001\n2 7  \n  % mid-body comment\n1 7 3 4\n2 4\n\n   \n";
+        let g = from_metis_str(content).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        assert_eq!(g.edge_weight(1, 2), Some(4));
+    }
+
+    #[test]
+    fn metis_rejects_self_loop_naming_line() {
+        // Vertex 2's adjacency (line 3) lists vertex 2 itself.
+        let content = "3 2\n2\n2 3\n2\n";
+        let err = from_metis_str(content).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("self-loop"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn metis_rejects_zero_indexed_vertices_naming_line() {
+        // METIS ids are 1-based; a 0 neighbour indicates a 0-indexed file.
+        let content = "2 1\n0\n1\n";
+        let err = from_metis_str(content).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("1-based"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn metis_rejects_trailing_garbage_naming_line() {
+        let content = "2 1\n2\n1\nextra junk\n";
+        let err = from_metis_str(content).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
     }
 
     #[test]

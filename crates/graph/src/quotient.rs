@@ -33,17 +33,23 @@ pub struct QuotientGraph {
 /// # Panics
 /// Panics if `assignment.len() != graph.num_vertices()`.
 pub fn quotient_graph(graph: &Graph, assignment: &[u32]) -> QuotientGraph {
-    assert_eq!(assignment.len(), graph.num_vertices(), "assignment length mismatch");
+    assert_eq!(
+        assignment.len(),
+        graph.num_vertices(),
+        "assignment length mismatch"
+    );
     // Compact block ids while preserving their numeric order.
     let mut used: Vec<u32> = assignment.to_vec();
     used.sort_unstable();
     used.dedup();
-    let rank: HashMap<u32, NodeId> =
-        used.iter().enumerate().map(|(i, &b)| (b, i as NodeId)).collect();
+    let rank: HashMap<u32, NodeId> = used
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, i as NodeId))
+        .collect();
     let k = used.len();
 
-    let vertex_to_block: Vec<NodeId> =
-        assignment.iter().map(|b| rank[b]).collect();
+    let vertex_to_block: Vec<NodeId> = assignment.iter().map(|b| rank[b]).collect();
 
     let mut block_weights = vec![0 as Weight; k];
     for v in graph.vertices() {
@@ -62,7 +68,12 @@ pub fn quotient_graph(graph: &Graph, assignment: &[u32]) -> QuotientGraph {
             cut_weight += w;
         }
     }
-    QuotientGraph { graph: builder.build(), vertex_to_block, block_weights, cut_weight }
+    QuotientGraph {
+        graph: builder.build(),
+        vertex_to_block,
+        block_weights,
+        cut_weight,
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +118,7 @@ mod tests {
     #[test]
     fn single_block_yields_single_vertex() {
         let g = generators::complete_graph(5);
-        let q = quotient_graph(&g, &vec![3u32; 5]);
+        let q = quotient_graph(&g, &[3u32; 5]);
         assert_eq!(q.graph.num_vertices(), 1);
         assert_eq!(q.graph.num_edges(), 0);
         assert_eq!(q.cut_weight, 0);

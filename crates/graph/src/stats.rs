@@ -37,7 +37,11 @@ pub fn graph_stats(graph: &Graph, samples: usize, seed: u64) -> GraphStats {
     let degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
     let min_degree = degrees.iter().copied().min().unwrap_or(0);
     let max_degree = degrees.iter().copied().max().unwrap_or(0);
-    let avg_degree = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+    let avg_degree = if n == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / n as f64
+    };
     GraphStats {
         num_vertices: n,
         num_edges: graph.num_edges(),
@@ -90,7 +94,11 @@ pub fn effective_diameter(graph: &Graph, samples: usize, seed: u64) -> u32 {
     let mut distances: Vec<u32> = Vec::new();
     for _ in 0..samples {
         let s = rng.gen_range(0..n) as NodeId;
-        distances.extend(bfs_distances(graph, s).into_iter().filter(|&d| d != UNREACHABLE && d > 0));
+        distances.extend(
+            bfs_distances(graph, s)
+                .into_iter()
+                .filter(|&d| d != UNREACHABLE && d > 0),
+        );
     }
     if distances.is_empty() {
         return 0;
@@ -122,7 +130,10 @@ mod tests {
         assert_eq!(s.min_degree, 9);
         assert_eq!(s.max_degree, 9);
         assert!((s.avg_degree - 9.0).abs() < 1e-12);
-        assert!((s.clustering - 1.0).abs() < 1e-12, "complete graph wedges are all closed");
+        assert!(
+            (s.clustering - 1.0).abs() < 1e-12,
+            "complete graph wedges are all closed"
+        );
         assert_eq!(s.effective_diameter, 1);
     }
 
@@ -140,8 +151,14 @@ mod tests {
     fn heavy_tail_visible_in_ba_graphs() {
         let g = generators::barabasi_albert(800, 3, 5);
         let s = graph_stats(&g, 400, 3);
-        assert!(s.max_degree as f64 > 5.0 * s.avg_degree, "BA graphs have hubs");
-        assert!(s.effective_diameter <= 8, "scale-free graphs have short distances");
+        assert!(
+            s.max_degree as f64 > 5.0 * s.avg_degree,
+            "BA graphs have hubs"
+        );
+        assert!(
+            s.effective_diameter <= 8,
+            "scale-free graphs have short distances"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn induced_subgraph(graph: &Graph, vertices: &[NodeId]) -> Subgraph {
             }
         }
     }
-    Subgraph { graph: builder.build(), to_parent }
+    Subgraph {
+        graph: builder.build(),
+        to_parent,
+    }
 }
 
 #[cfg(test)]

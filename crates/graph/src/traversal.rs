@@ -62,7 +62,12 @@ impl DistanceMatrix {
 
     /// Largest finite distance (graph diameter if connected).
     pub fn diameter(&self) -> u32 {
-        self.data.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+        self.data
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
     }
 }
 

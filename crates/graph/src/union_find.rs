@@ -11,7 +11,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], num_sets: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
     }
 
     /// Number of elements.
@@ -52,8 +56,11 @@ impl UnionFind {
         if rx == ry {
             return false;
         }
-        let (big, small) =
-            if self.size[rx as usize] >= self.size[ry as usize] { (rx, ry) } else { (ry, rx) };
+        let (big, small) = if self.size[rx as usize] >= self.size[ry as usize] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.num_sets -= 1;

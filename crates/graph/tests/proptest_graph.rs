@@ -4,12 +4,12 @@ use proptest::prelude::*;
 use tie_graph::{generators, io, quotient_graph, traversal, Graph, GraphBuilder, NodeId};
 
 /// Strategy producing a random edge list over `n` vertices.
-fn edge_list(max_n: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+fn edge_list(
+    max_n: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
     (2..max_n).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1..20u64),
-            0..max_edges,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1..20u64), 0..max_edges);
         (Just(n), edges)
     })
 }

@@ -19,7 +19,7 @@ pub fn communication_graph(graph: &Graph, partition: &Partition) -> Graph {
     // when some blocks are empty, build directly.
     let mut builder = tie_graph::GraphBuilder::new(k);
     for (b, w) in partition.block_weights(graph).into_iter().enumerate() {
-        builder.set_vertex_weight(b as u32, w.max(0));
+        builder.set_vertex_weight(b as u32, w);
     }
     for (u, v, w) in graph.edges() {
         let (bu, bv) = (partition.block_of(u), partition.block_of(v));

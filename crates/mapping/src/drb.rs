@@ -21,7 +21,10 @@ use tie_partition::Partition;
 pub fn dual_recursive_bisection(gc: &Graph, gp: &Graph, seed: u64) -> Vec<u32> {
     let k = gc.num_vertices();
     let p = gp.num_vertices();
-    assert!(k <= p, "communication graph has more vertices ({k}) than there are PEs ({p})");
+    assert!(
+        k <= p,
+        "communication graph has more vertices ({k}) than there are PEs ({p})"
+    );
     let mut nu = vec![u32::MAX; k];
     let c_vertices: Vec<NodeId> = gc.vertices().collect();
     let p_vertices: Vec<NodeId> = gp.vertices().collect();
@@ -61,7 +64,10 @@ fn recurse(
     // 1. Bisect the processor subset, preferring a balanced structural cut.
     let p_sub = induced_subgraph(gp, p_vertices);
     let p_half = (p_vertices.len() / 2) as u64;
-    let p_cfg = PartitionConfig { epsilon: 0.0, ..PartitionConfig::new(2, seed) };
+    let p_cfg = PartitionConfig {
+        epsilon: 0.0,
+        ..PartitionConfig::new(2, seed)
+    };
     let p_bis = multilevel_bisection(&p_sub.graph, p_half, &p_cfg, seed);
     let (mut p0, mut p1): (Vec<NodeId>, Vec<NodeId>) = (Vec::new(), Vec::new());
     for (local, &orig) in p_sub.to_parent.iter().enumerate() {
@@ -89,7 +95,10 @@ fn recurse(
     let mut unit = c_sub.graph.clone();
     unit.set_vertex_weights(vec![1; unit.num_vertices()]);
     let c_target0 = p0.len().min(c_vertices.len()) as u64;
-    let c_cfg = PartitionConfig { epsilon: 0.0, ..PartitionConfig::new(2, seed ^ 0x9e3779b9) };
+    let c_cfg = PartitionConfig {
+        epsilon: 0.0,
+        ..PartitionConfig::new(2, seed ^ 0x9e3779b9)
+    };
     let c_bis = multilevel_bisection(&unit, c_target0, &c_cfg, seed.wrapping_add(1));
     let (mut c0, mut c1): (Vec<NodeId>, Vec<NodeId>) = (Vec::new(), Vec::new());
     for (local, &orig) in c_sub.to_parent.iter().enumerate() {
@@ -186,6 +195,9 @@ mod tests {
     fn drb_deterministic_in_seed() {
         let gp = Topology::grid2d(4, 4).graph;
         let gc = generators::randomize_edge_weights(&generators::grid2d(4, 4), 4, 3);
-        assert_eq!(dual_recursive_bisection(&gc, &gp, 7), dual_recursive_bisection(&gc, &gp, 7));
+        assert_eq!(
+            dual_recursive_bisection(&gc, &gp, 7),
+            dual_recursive_bisection(&gc, &gp, 7)
+        );
     }
 }

@@ -54,7 +54,10 @@ pub fn greedy_min_mapping(graph: &Graph, partition: &Partition, gp: &Graph) -> M
 fn greedy_construct(gc: &Graph, gp: &Graph, variant: Variant) -> Vec<u32> {
     let k = gc.num_vertices();
     let p = gp.num_vertices();
-    assert!(k <= p, "communication graph has more vertices ({k}) than there are PEs ({p})");
+    assert!(
+        k <= p,
+        "communication graph has more vertices ({k}) than there are PEs ({p})"
+    );
     if k == 0 {
         return Vec::new();
     }
@@ -105,8 +108,11 @@ fn select_max_total(gc: &Graph, mapped: &[bool]) -> NodeId {
         if mapped[v as usize] {
             continue;
         }
-        let to_mapped: Weight =
-            gc.edges_of(v).filter(|&(u, _)| mapped[u as usize]).map(|(_, w)| w).sum();
+        let to_mapped: Weight = gc
+            .edges_of(v)
+            .filter(|&(u, _)| mapped[u as usize])
+            .map(|(_, w)| w)
+            .sum();
         let wdeg = gc.weighted_degree(v);
         let better = match best {
             None => true,

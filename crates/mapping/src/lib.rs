@@ -53,15 +53,25 @@ impl Mapping {
     /// # Panics
     /// Panics if any PE id is out of range.
     pub fn new(assignment: Vec<u32>, num_pes: usize) -> Self {
-        assert!(assignment.iter().all(|&p| (p as usize) < num_pes), "PE id out of range");
-        Mapping { assignment, num_pes }
+        assert!(
+            assignment.iter().all(|&p| (p as usize) < num_pes),
+            "PE id out of range"
+        );
+        Mapping {
+            assignment,
+            num_pes,
+        }
     }
 
     /// Builds a mapping from a partition of `Ga` and a bijection
     /// `block -> PE` (`nu[b]` is the PE of block `b`).
     pub fn from_partition(partition: &Partition, nu: &[u32], num_pes: usize) -> Self {
         assert_eq!(partition.k(), nu.len(), "bijection must cover every block");
-        let assignment = partition.assignment().iter().map(|&b| nu[b as usize]).collect();
+        let assignment = partition
+            .assignment()
+            .iter()
+            .map(|&b| nu[b as usize])
+            .collect();
         Mapping::new(assignment, num_pes)
     }
 
@@ -116,7 +126,7 @@ impl Mapping {
         if used == 0 {
             return true;
         }
-        let ideal = (self.num_tasks() + used - 1) / used;
+        let ideal = self.num_tasks().div_ceil(used);
         let max = self.load_per_pe().into_iter().max().unwrap_or(0);
         max as f64 <= (1.0 + eps) * ideal as f64 + 1e-9
     }

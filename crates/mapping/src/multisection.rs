@@ -27,7 +27,10 @@ use crate::Mapping;
 pub fn multisection(gc: &Graph, pcube: &PartialCubeLabeling, seed: u64) -> Vec<u32> {
     let k = gc.num_vertices();
     let p = pcube.num_pes();
-    assert!(k <= p, "communication graph has more vertices ({k}) than there are PEs ({p})");
+    assert!(
+        k <= p,
+        "communication graph has more vertices ({k}) than there are PEs ({p})"
+    );
     let mut nu = vec![u32::MAX; k];
     let c_vertices: Vec<NodeId> = gc.vertices().collect();
     let pe_ids: Vec<u32> = (0..p as u32).collect();
@@ -69,8 +72,9 @@ fn recurse(
     // Split the PE group by the current label digit. Digits that do not
     // separate this group are skipped (recursion on the next digit).
     let bit = digit - 1;
-    let (p0, p1): (Vec<u32>, Vec<u32>) =
-        pes.iter().partition(|&&pe| (pcube.labels[pe as usize] >> bit) & 1 == 0);
+    let (p0, p1): (Vec<u32>, Vec<u32>) = pes
+        .iter()
+        .partition(|&&pe| (pcube.labels[pe as usize] >> bit) & 1 == 0);
     if p0.is_empty() || p1.is_empty() {
         recurse(gc, pcube, c_vertices, pes, digit - 1, seed, nu);
         return;
@@ -81,9 +85,12 @@ fn recurse(
     let c_sub = induced_subgraph(gc, c_vertices);
     let mut unit = c_sub.graph.clone();
     unit.set_vertex_weights(vec![1; unit.num_vertices()]);
-    let share0 = (c_vertices.len() * p0.len() + pes.len() - 1) / pes.len();
+    let share0 = (c_vertices.len() * p0.len()).div_ceil(pes.len());
     let target0 = share0.min(c_vertices.len()).min(p0.len()) as u64;
-    let cfg = PartitionConfig { epsilon: 0.0, ..PartitionConfig::new(2, seed) };
+    let cfg = PartitionConfig {
+        epsilon: 0.0,
+        ..PartitionConfig::new(2, seed)
+    };
     let bis = multilevel_bisection(&unit, target0, &cfg, seed);
     let (mut c0, mut c1): (Vec<NodeId>, Vec<NodeId>) = (Vec::new(), Vec::new());
     for (local, &orig) in c_sub.to_parent.iter().enumerate() {
@@ -159,9 +166,15 @@ mod tests {
             let m = multisection_mapping(&ga, &part, &pcube, 5);
             assert_eq!(m.num_tasks(), 512);
             assert!(m.is_balanced(0.1), "{}", topo.name);
-            let nu_check: std::collections::HashSet<u32> =
-                (0..16u32).map(|b| m.pe_of(ga.vertices().find(|&v| part.block_of(v) == b).unwrap())).collect();
-            assert_eq!(nu_check.len(), 16, "{}: block-to-PE map must stay injective", topo.name);
+            let nu_check: std::collections::HashSet<u32> = (0..16u32)
+                .map(|b| m.pe_of(ga.vertices().find(|&v| part.block_of(v) == b).unwrap()))
+                .collect();
+            assert_eq!(
+                nu_check.len(),
+                16,
+                "{}: block-to-PE map must stay injective",
+                topo.name
+            );
         }
     }
 

@@ -90,9 +90,13 @@ mod tests {
             for b in (a + 1)..9 {
                 let mut swapped = nu.clone();
                 swapped.swap(a as usize, b as usize);
-                let expected =
-                    coco_of_bijection(&gc, &dist, &swapped) as i64 - coco_of_bijection(&gc, &dist, &nu) as i64;
-                assert_eq!(swap_delta(&gc, &dist, &nu, a, b), expected, "swap ({a},{b})");
+                let expected = coco_of_bijection(&gc, &dist, &swapped) as i64
+                    - coco_of_bijection(&gc, &dist, &nu) as i64;
+                assert_eq!(
+                    swap_delta(&gc, &dist, &nu, a, b),
+                    expected,
+                    "swap ({a},{b})"
+                );
             }
         }
     }

@@ -35,8 +35,10 @@ pub fn random_mapping(partition: &Partition, num_pes: usize, seed: u64) -> Mappi
 /// assignment used as a strawman in mapping papers. Balanced by construction
 /// but oblivious to both communication and topology.
 pub fn round_robin_mapping(graph: &Graph, num_pes: usize) -> Mapping {
-    let assignment: Vec<u32> =
-        graph.vertices().map(|v| (v as usize % num_pes) as u32).collect();
+    let assignment: Vec<u32> = graph
+        .vertices()
+        .map(|v| (v as usize % num_pes) as u32)
+        .collect();
     Mapping::new(assignment, num_pes)
 }
 
@@ -57,7 +59,9 @@ mod tests {
 
         pub fn coco_check(ga: &Graph, gp: &Graph, m: &Mapping) -> u64 {
             let dist = all_pairs_distances(gp);
-            ga.edges().map(|(u, v, w)| w * dist.get(m.pe_of(u), m.pe_of(v)) as u64).sum()
+            ga.edges()
+                .map(|(u, v, w)| w * dist.get(m.pe_of(u), m.pe_of(v)) as u64)
+                .sum()
         }
     }
 

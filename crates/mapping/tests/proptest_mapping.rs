@@ -15,7 +15,9 @@ use tie_topology::{recognize_partial_cube, Topology};
 
 fn coco_of_nu(gc: &Graph, gp: &Graph, nu: &[u32]) -> u64 {
     let dist = all_pairs_distances(gp);
-    gc.edges().map(|(u, v, w)| w * dist.get(nu[u as usize], nu[v as usize]) as u64).sum()
+    gc.edges()
+        .map(|(u, v, w)| w * dist.get(nu[u as usize], nu[v as usize]) as u64)
+        .sum()
 }
 
 fn injective(nu: &[u32]) -> bool {

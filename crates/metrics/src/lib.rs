@@ -112,7 +112,8 @@ pub fn congestion(ga: &Graph, gp: &Graph, mapping: &Mapping) -> u64 {
         parents.push(bfs_parents(gp, s));
     }
     // Edge loads keyed by (min, max) endpoint.
-    let mut load: std::collections::HashMap<(NodeId, NodeId), u64> = std::collections::HashMap::new();
+    let mut load: std::collections::HashMap<(NodeId, NodeId), u64> =
+        std::collections::HashMap::new();
     for (u, v, w) in ga.edges() {
         let (pu, pv) = (mapping.pe_of(u), mapping.pe_of(v));
         if pu == pv {
@@ -162,7 +163,7 @@ pub fn imbalance(ga: &Graph, mapping: &Mapping) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let ideal = (total + p as Weight - 1) / p as Weight;
+    let ideal = total.div_ceil(p as Weight);
     let max = mapping.weight_per_pe(ga).into_iter().max().unwrap_or(0);
     max as f64 / ideal as f64 - 1.0
 }

@@ -48,7 +48,10 @@ pub fn contract(graph: &Graph, matching: &Matching) -> CoarseLevel {
             builder.add_edge(cu, cv, w);
         }
     }
-    CoarseLevel { graph: builder.build(), fine_to_coarse }
+    CoarseLevel {
+        graph: builder.build(),
+        fine_to_coarse,
+    }
 }
 
 /// A full coarsening hierarchy from the original graph down to a small one.
@@ -129,17 +132,27 @@ mod tests {
             .filter(|&(u, v, _)| m.mate[u as usize] == v)
             .map(|(_, _, w)| w)
             .sum();
-        assert_eq!(level.graph.total_edge_weight(), g.total_edge_weight() - matched_weight);
+        assert_eq!(
+            level.graph.total_edge_weight(),
+            g.total_edge_weight() - matched_weight
+        );
     }
 
     #[test]
     fn hierarchy_reaches_target_size() {
         let g = generators::barabasi_albert(500, 3, 4);
         let h = coarsen_until(&g, 50, 0);
-        assert!(h.coarsest(&g).num_vertices() <= 120, "stalled too early: {}", h.coarsest(&g).num_vertices());
+        assert!(
+            h.coarsest(&g).num_vertices() <= 120,
+            "stalled too early: {}",
+            h.coarsest(&g).num_vertices()
+        );
         assert!(!h.levels.is_empty());
         // Weight conservation through the whole hierarchy.
-        assert_eq!(h.coarsest(&g).total_vertex_weight(), g.total_vertex_weight());
+        assert_eq!(
+            h.coarsest(&g).total_vertex_weight(),
+            g.total_vertex_weight()
+        );
     }
 
     #[test]
@@ -148,13 +161,17 @@ mod tests {
         let h = coarsen_until(&g, 8, 3);
         let coarsest = h.coarsest(&g);
         // Assign alternating blocks on the coarsest graph and project.
-        let coarse_assignment: Vec<u32> = (0..coarsest.num_vertices() as u32).map(|v| v % 2).collect();
+        let coarse_assignment: Vec<u32> =
+            (0..coarsest.num_vertices() as u32).map(|v| v % 2).collect();
         let fine = h.project_to_finest(&coarse_assignment);
         assert_eq!(fine.len(), g.num_vertices());
         // Every fine vertex inherits the block of its coarse representative.
         let mut v_to_c: Vec<u32> = (0..g.num_vertices() as u32).collect();
         for level in &h.levels {
-            v_to_c = v_to_c.iter().map(|&c| level.fine_to_coarse[c as usize]).collect();
+            v_to_c = v_to_c
+                .iter()
+                .map(|&c| level.fine_to_coarse[c as usize])
+                .collect();
         }
         for v in 0..g.num_vertices() {
             assert_eq!(fine[v], coarse_assignment[v_to_c[v] as usize]);

@@ -57,7 +57,11 @@ pub fn refine_bisection(
     }
     let max0 = max_weight(target0, eps);
     let max1 = max_weight(target1, eps);
-    let max_gain = graph.vertices().map(|v| graph.weighted_degree(v)).max().unwrap_or(1) as Gain;
+    let max_gain = graph
+        .vertices()
+        .map(|v| graph.weighted_degree(v))
+        .max()
+        .unwrap_or(1) as Gain;
     let initial_cut = bisection.cut;
 
     for _ in 0..max_passes {
@@ -85,7 +89,11 @@ pub fn refine_bisection(
             let vw = graph.vertex_weight(v);
             let from0 = bisection.side[v as usize] == 0;
             // Feasibility of the move w.r.t. the balance bound.
-            let feasible = if from0 { w1 + vw <= max1 } else { w0 + vw <= max0 };
+            let feasible = if from0 {
+                w1 + vw <= max1
+            } else {
+                w0 + vw <= max0
+            };
             if !feasible {
                 continue; // dropped; it may re-enter in a later pass
             }
@@ -139,7 +147,10 @@ pub fn refine_bisection(
     // Defensive recomputation keeps the struct internally consistent even if
     // incremental bookkeeping ever drifts.
     let fresh = Bisection::from_sides(graph, bisection.side.clone());
-    debug_assert_eq!(fresh.cut, bisection.cut, "incremental cut bookkeeping diverged");
+    debug_assert_eq!(
+        fresh.cut, bisection.cut,
+        "incremental cut bookkeeping diverged"
+    );
     *bisection = fresh;
     initial_cut - bisection.cut
 }
@@ -194,7 +205,12 @@ mod tests {
         let before = b.cut;
         assert!(before > 40);
         refine_bisection(&g, &mut b, 10, 10, 0.1, 20);
-        assert!(b.cut <= before / 2, "cut {} should be far below {}", b.cut, before);
+        assert!(
+            b.cut <= before / 2,
+            "cut {} should be far below {}",
+            b.cut,
+            before
+        );
         assert!(b.weight0 >= 9 && b.weight0 <= 11);
     }
 

@@ -41,7 +41,12 @@ impl Bisection {
             .filter(|&(u, v, _)| side[u as usize] != side[v as usize])
             .map(|(_, _, w)| w)
             .sum();
-        Bisection { side, weight0, weight1, cut }
+        Bisection {
+            side,
+            weight0,
+            weight1,
+            cut,
+        }
     }
 
     /// True if both sides respect their targets within factor `1 + eps`.
@@ -146,8 +151,16 @@ pub fn greedy_graph_growing(
 }
 
 fn imbalance_of(b: &Bisection, target0: Weight, target1: Weight) -> f64 {
-    let r0 = if target0 > 0 { b.weight0 as f64 / target0 as f64 } else { 1.0 };
-    let r1 = if target1 > 0 { b.weight1 as f64 / target1 as f64 } else { 1.0 };
+    let r0 = if target0 > 0 {
+        b.weight0 as f64 / target0 as f64
+    } else {
+        1.0
+    };
+    let r1 = if target1 > 0 {
+        b.weight1 as f64 / target1 as f64
+    } else {
+        1.0
+    };
     r0.max(r1)
 }
 
@@ -171,7 +184,11 @@ mod tests {
     fn growing_hits_target_weight_on_grid() {
         let g = generators::grid2d(8, 8);
         let b = greedy_graph_growing(&g, 32, 0.05, 6, 1);
-        assert!(b.weight0 >= 32 && b.weight0 <= 36, "weight0 = {}", b.weight0);
+        assert!(
+            b.weight0 >= 32 && b.weight0 <= 36,
+            "weight0 = {}",
+            b.weight0
+        );
         assert_eq!(b.weight0 + b.weight1, 64);
         // A grown region of a grid should have a reasonably small cut.
         assert!(b.cut <= 24, "cut = {}", b.cut);

@@ -32,7 +32,7 @@ pub fn rebalance(graph: &Graph, partition: &mut Partition, eps: f64) -> usize {
         return 0;
     }
     let total = graph.total_vertex_weight();
-    let ideal = (total + k as Weight - 1) / k as Weight;
+    let ideal = total.div_ceil(k as Weight);
     let max_block = block_bound(ideal, eps);
     let mut block_weights = partition.block_weights(graph);
     let mut moves = 0usize;
@@ -112,7 +112,7 @@ pub fn greedy_kway_refine(
         return 0;
     }
     let total = graph.total_vertex_weight();
-    let ideal = (total + k as Weight - 1) / k as Weight;
+    let ideal = total.div_ceil(k as Weight);
     let max_block = block_bound(ideal, eps);
 
     let mut block_weights = partition.block_weights(graph);
@@ -141,8 +141,7 @@ pub fn greedy_kway_refine(
                 continue; // not a boundary vertex
             }
             // Best target block by gain = external(b) - internal.
-            let (best_block, best_conn) =
-                conn.into_iter().max_by_key(|&(_, w)| w).unwrap();
+            let (best_block, best_conn) = conn.into_iter().max_by_key(|&(_, w)| w).unwrap();
             let gain = best_conn as Gain - internal as Gain;
             if gain <= 0 {
                 continue;
@@ -221,7 +220,11 @@ mod tests {
         let assignment: Vec<u32> = (0..400u32).map(|v| v % 8).collect();
         let mut p = Partition::new(assignment, 8);
         greedy_kway_refine(&g, &mut p, 0.03, 5);
-        assert!(p.is_balanced(&g, 0.03 + 1e-9), "imbalance = {}", p.imbalance(&g));
+        assert!(
+            p.is_balanced(&g, 0.03 + 1e-9),
+            "imbalance = {}",
+            p.imbalance(&g)
+        );
     }
 
     #[test]
@@ -240,7 +243,11 @@ mod tests {
         assert!(!p.is_balanced(&g, 0.03));
         let moves = rebalance(&g, &mut p, 0.03);
         assert!(moves > 0);
-        assert!(p.is_balanced(&g, 0.03 + 1e-9), "imbalance = {}", p.imbalance(&g));
+        assert!(
+            p.is_balanced(&g, 0.03 + 1e-9),
+            "imbalance = {}",
+            p.imbalance(&g)
+        );
         assert_eq!(p.num_nonempty_blocks(), 4);
     }
 

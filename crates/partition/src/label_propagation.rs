@@ -34,7 +34,12 @@ pub struct LabelPropagationConfig {
 impl LabelPropagationConfig {
     /// Default configuration: `k` blocks, ε = 3 %, 10 rounds.
     pub fn new(k: usize, seed: u64) -> Self {
-        LabelPropagationConfig { k, epsilon: 0.03, rounds: 10, seed }
+        LabelPropagationConfig {
+            k,
+            epsilon: 0.03,
+            rounds: 10,
+            seed,
+        }
     }
 }
 
@@ -43,7 +48,11 @@ pub fn label_propagation_partition(graph: &Graph, config: &LabelPropagationConfi
     let n = graph.num_vertices();
     let k = config.k.max(1);
     let total = graph.total_vertex_weight();
-    let ideal = if k == 0 { total } else { (total + k as Weight - 1) / k as Weight };
+    let ideal = if k == 0 {
+        total
+    } else {
+        total.div_ceil(k as Weight)
+    };
     let max_block = block_bound(ideal, config.epsilon);
 
     // Initial assignment: round-robin over a shuffled vertex order, which is
@@ -122,7 +131,11 @@ mod tests {
         let g = generators::barabasi_albert(1000, 4, 3);
         let p = label_propagation_partition(&g, &LabelPropagationConfig::new(16, 1));
         assert_eq!(p.k(), 16);
-        assert!(p.is_balanced(&g, 0.03 + 1e-9), "imbalance = {}", p.imbalance(&g));
+        assert!(
+            p.is_balanced(&g, 0.03 + 1e-9),
+            "imbalance = {}",
+            p.imbalance(&g)
+        );
         assert!(p.num_nonempty_blocks() >= 14, "most blocks should be used");
     }
 
@@ -149,7 +162,10 @@ mod tests {
         let g = generators::barabasi_albert(1500, 4, 9);
         let sclp = label_propagation_partition(&g, &LabelPropagationConfig::new(32, 2));
         let ml = crate::partition(&g, &PartitionConfig::new(32, 2));
-        assert!(ml.edge_cut(&g) <= sclp.edge_cut(&g) * 2, "multilevel should be competitive");
+        assert!(
+            ml.edge_cut(&g) <= sclp.edge_cut(&g) * 2,
+            "multilevel should be competitive"
+        );
         assert!(sclp.is_balanced(&g, 0.035));
         assert!(ml.is_balanced(&g, 0.035));
     }

@@ -77,7 +77,11 @@ impl PartitionConfig {
     /// Convenience constructor: `k` blocks, 3 % imbalance (the paper's
     /// setting), given seed.
     pub fn new(k: usize, seed: u64) -> Self {
-        PartitionConfig { k, seed, ..Default::default() }
+        PartitionConfig {
+            k,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Sets the allowed imbalance.
@@ -111,7 +115,11 @@ mod tests {
         let p = partition(&g, &PartitionConfig::new(4, 7));
         assert_eq!(p.k(), 4);
         assert_eq!(p.assignment().len(), 64);
-        assert!(p.is_balanced(&g, 0.03 + 1e-9), "imbalance {}", p.imbalance(&g));
+        assert!(
+            p.is_balanced(&g, 0.03 + 1e-9),
+            "imbalance {}",
+            p.imbalance(&g)
+        );
         // A sane 4-way cut of an 8x8 grid is well below the total edge count.
         assert!(p.edge_cut(&g) <= 40, "cut {}", p.edge_cut(&g));
     }

@@ -110,7 +110,10 @@ mod tests {
                 saw_heavy = true;
             }
         }
-        assert!(saw_heavy, "the heavy edge should be chosen for at least one visiting order");
+        assert!(
+            saw_heavy,
+            "the heavy edge should be chosen for at least one visiting order"
+        );
     }
 
     #[test]

@@ -18,8 +18,21 @@ pub fn multilevel_bisection(
     let total = graph.total_vertex_weight();
     let target1 = total.saturating_sub(target0);
     if graph.num_vertices() <= config.coarsen_until {
-        let mut b = greedy_graph_growing(graph, target0, config.epsilon, config.initial_attempts, seed);
-        refine_bisection(graph, &mut b, target0, target1, config.epsilon, config.fm_passes);
+        let mut b = greedy_graph_growing(
+            graph,
+            target0,
+            config.epsilon,
+            config.initial_attempts,
+            seed,
+        );
+        refine_bisection(
+            graph,
+            &mut b,
+            target0,
+            target1,
+            config.epsilon,
+            config.fm_passes,
+        );
         return b;
     }
 
@@ -32,20 +45,37 @@ pub fn multilevel_bisection(
         config.initial_attempts,
         seed.wrapping_add(1),
     );
-    refine_bisection(&coarsest, &mut coarse, target0, target1, config.epsilon, config.fm_passes);
+    refine_bisection(
+        &coarsest,
+        &mut coarse,
+        target0,
+        target1,
+        config.epsilon,
+        config.fm_passes,
+    );
 
     // Uncoarsen level by level, refining after each projection.
     let mut side_on_level: Vec<u8> = coarse.side;
     for (idx, _) in hierarchy.levels.iter().enumerate().rev() {
-        let fine_graph: &Graph =
-            if idx == 0 { graph } else { &hierarchy.levels[idx - 1].graph };
+        let fine_graph: &Graph = if idx == 0 {
+            graph
+        } else {
+            &hierarchy.levels[idx - 1].graph
+        };
         let level = &hierarchy.levels[idx];
         let mut fine_side = vec![0u8; level.fine_to_coarse.len()];
         for (v, &c) in level.fine_to_coarse.iter().enumerate() {
             fine_side[v] = side_on_level[c as usize];
         }
         let mut bis = Bisection::from_sides(fine_graph, fine_side);
-        refine_bisection(fine_graph, &mut bis, target0, target1, config.epsilon, config.fm_passes);
+        refine_bisection(
+            fine_graph,
+            &mut bis,
+            target0,
+            target1,
+            config.epsilon,
+            config.fm_passes,
+        );
         side_on_level = bis.side;
     }
     Bisection::from_sides(graph, side_on_level)
@@ -62,7 +92,12 @@ mod tests {
         let cfg = PartitionConfig::new(2, 3);
         let b = multilevel_bisection(&g, 128, &cfg, 3);
         assert_eq!(b.weight0 + b.weight1, 256);
-        assert!(b.is_feasible(128, 128, cfg.epsilon), "w0={} w1={}", b.weight0, b.weight1);
+        assert!(
+            b.is_feasible(128, 128, cfg.epsilon),
+            "w0={} w1={}",
+            b.weight0,
+            b.weight1
+        );
         // The optimal bisection of a 16x16 grid cuts 16 edges; the multilevel
         // heuristic should come close.
         assert!(b.cut <= 28, "cut = {}", b.cut);
@@ -75,7 +110,10 @@ mod tests {
         let total = g.total_vertex_weight();
         let b = multilevel_bisection(&g, total / 2, &cfg, 5);
         assert!(b.is_feasible(total / 2, total - total / 2, cfg.epsilon));
-        assert!(b.cut < g.total_edge_weight(), "refinement should cut fewer than all edges");
+        assert!(
+            b.cut < g.total_edge_weight(),
+            "refinement should cut fewer than all edges"
+        );
     }
 
     #[test]
@@ -92,7 +130,11 @@ mod tests {
         let g = generators::grid2d(10, 10);
         let cfg = PartitionConfig::new(2, 2).with_epsilon(0.05);
         let b = multilevel_bisection(&g, 25, &cfg, 7);
-        assert!(b.weight0 as f64 <= 25.0 * 1.05 + 1.0, "weight0 = {}", b.weight0);
+        assert!(
+            b.weight0 as f64 <= 25.0 * 1.05 + 1.0,
+            "weight0 = {}",
+            b.weight0
+        );
         assert!(b.weight0 >= 20, "weight0 = {}", b.weight0);
     }
 }

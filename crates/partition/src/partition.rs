@@ -15,7 +15,10 @@ impl Partition {
     /// # Panics
     /// Panics if any block id is out of range.
     pub fn new(assignment: Vec<u32>, k: usize) -> Self {
-        assert!(assignment.iter().all(|&b| (b as usize) < k), "block id out of range");
+        assert!(
+            assignment.iter().all(|&b| (b as usize) < k),
+            "block id out of range"
+        );
         Partition { assignment, k }
     }
 
@@ -79,7 +82,7 @@ impl Partition {
         if total == 0 || self.k == 0 {
             return 0.0;
         }
-        let ideal = (total + self.k as Weight - 1) / self.k as Weight;
+        let ideal = total.div_ceil(self.k as Weight);
         let max = self.block_weights(graph).into_iter().max().unwrap_or(0);
         max as f64 / ideal as f64 - 1.0
     }

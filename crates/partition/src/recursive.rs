@@ -15,7 +15,15 @@ pub fn recursive_bisection(graph: &Graph, config: &PartitionConfig) -> Partition
     let mut assignment = vec![0u32; n];
     if config.k > 1 && n > 0 {
         let vertices: Vec<NodeId> = graph.vertices().collect();
-        split_recursive(graph, &vertices, 0, config.k, config, config.seed, &mut assignment);
+        split_recursive(
+            graph,
+            &vertices,
+            0,
+            config.k,
+            config,
+            config.seed,
+            &mut assignment,
+        );
     }
     let mut partition = Partition::new(assignment, config.k);
     if config.k > 1 {
@@ -60,7 +68,10 @@ fn split_recursive(
     let levels_remaining = (num_blocks as f64).log2().ceil().max(1.0);
     let inner_eps = (1.0 + config.epsilon).powf(1.0 / levels_remaining) - 1.0;
 
-    let inner_cfg = PartitionConfig { epsilon: inner_eps, ..config.clone() };
+    let inner_cfg = PartitionConfig {
+        epsilon: inner_eps,
+        ..config.clone()
+    };
     let bisection = multilevel_bisection(&sub.graph, target0, &inner_cfg, seed);
 
     let mut part0: Vec<NodeId> = Vec::new();
@@ -72,7 +83,15 @@ fn split_recursive(
             part1.push(orig);
         }
     }
-    split_recursive(graph, &part0, first_block, k0, config, seed.wrapping_add(1), assignment);
+    split_recursive(
+        graph,
+        &part0,
+        first_block,
+        k0,
+        config,
+        seed.wrapping_add(1),
+        assignment,
+    );
     split_recursive(
         graph,
         &part1,
@@ -96,7 +115,11 @@ mod tests {
         let p = recursive_bisection(&g, &cfg);
         assert_eq!(p.k(), 16);
         assert_eq!(p.num_nonempty_blocks(), 16);
-        assert!(p.is_balanced(&g, cfg.epsilon + 1e-9), "imbalance = {}", p.imbalance(&g));
+        assert!(
+            p.is_balanced(&g, cfg.epsilon + 1e-9),
+            "imbalance = {}",
+            p.imbalance(&g)
+        );
         // 16 blocks of a 16x16 grid: a sensible cut is far below total edges.
         assert!(p.edge_cut(&g) < 180, "cut = {}", p.edge_cut(&g));
     }
@@ -107,7 +130,11 @@ mod tests {
         let cfg = PartitionConfig::new(32, 4);
         let p = recursive_bisection(&g, &cfg);
         assert_eq!(p.num_nonempty_blocks(), 32);
-        assert!(p.is_balanced(&g, cfg.epsilon + 0.02), "imbalance = {}", p.imbalance(&g));
+        assert!(
+            p.is_balanced(&g, cfg.epsilon + 0.02),
+            "imbalance = {}",
+            p.imbalance(&g)
+        );
         assert!(p.edge_cut(&g) < g.total_edge_weight());
     }
 
@@ -118,7 +145,11 @@ mod tests {
         let p = recursive_bisection(&g, &cfg);
         assert_eq!(p.k(), 5);
         assert_eq!(p.num_nonempty_blocks(), 5);
-        assert!(p.is_balanced(&g, cfg.epsilon + 0.05), "imbalance = {}", p.imbalance(&g));
+        assert!(
+            p.is_balanced(&g, cfg.epsilon + 0.05),
+            "imbalance = {}",
+            p.imbalance(&g)
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ fn partition_256_blocks_like_paper_setting() {
     let cfg = PartitionConfig::new(256, 1);
     let p = partition(&g, &cfg);
     assert_eq!(p.num_nonempty_blocks(), 256);
-    assert!(p.is_balanced(&g, cfg.epsilon + 0.08), "imbalance = {}", p.imbalance(&g));
+    assert!(
+        p.is_balanced(&g, cfg.epsilon + 0.08),
+        "imbalance = {}",
+        p.imbalance(&g)
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ fn both_partitioners_satisfy_paper_balance_on_complex_networks() {
                 p.imbalance(&g)
             );
             assert_eq!(p.k(), 64, "{name}");
-            assert!(p.num_nonempty_blocks() >= 60, "{name} leaves too many blocks empty");
+            assert!(
+                p.num_nonempty_blocks() >= 60,
+                "{name} leaves too many blocks empty"
+            );
         }
     }
 }

@@ -38,7 +38,10 @@ pub fn assemble_labels(run: &HierarchyRun, dim: usize) -> AssembleResult {
     let n = finest.labels.len();
     let original: &[u64] = &finest.labels;
     if n == 0 || dim < 2 || run.levels.len() < 2 {
-        return AssembleResult { labels: original.to_vec(), repaired: 0 };
+        return AssembleResult {
+            labels: original.to_vec(),
+            repaired: 0,
+        };
     }
 
     // Prefix-existence sets: prefixes[i] holds every original label truncated
@@ -80,7 +83,10 @@ pub fn assemble_labels(run: &HierarchyRun, dim: usize) -> AssembleResult {
     }
 
     let repaired = repair_bijection(&mut new_labels, original);
-    AssembleResult { labels: new_labels, repaired }
+    AssembleResult {
+        labels: new_labels,
+        repaired,
+    }
 }
 
 #[inline]
@@ -112,8 +118,10 @@ fn repair_bijection(labels: &mut [u64], original: &[u64]) -> usize {
     if needs_fix.is_empty() {
         return 0;
     }
-    let mut leftovers: Vec<u64> =
-        budget.into_iter().flat_map(|(l, c)| std::iter::repeat(l).take(c as usize)).collect();
+    let mut leftovers: Vec<u64> = budget
+        .into_iter()
+        .flat_map(|(l, c)| std::iter::repeat_n(l, c as usize))
+        .collect();
     leftovers.sort_unstable();
     for &v in &needs_fix {
         let want = labels[v];
@@ -143,7 +151,7 @@ mod tests {
     fn assemble_preserves_label_set() {
         let g = generators::randomize_edge_weights(&generators::barabasi_albert(128, 3, 1), 3, 2);
         let labels: Vec<u64> = (0..128u64).collect();
-        let run = build_hierarchy(&g, labels.clone(), 7, 0b1111_000, 0b0000_111, 1);
+        let run = build_hierarchy(&g, labels.clone(), 7, 0b111_1000, 0b000_0111, 1);
         let result = assemble_labels(&run, 7);
         assert_eq!(sorted(result.labels.clone()), sorted(labels));
     }

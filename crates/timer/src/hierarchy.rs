@@ -88,8 +88,11 @@ pub fn contract_level(graph: &Graph, labels: &[u64]) -> (Graph, Vec<u64>, Vec<No
     let mut prefixes: Vec<u64> = labels.iter().map(|&l| l >> 1).collect();
     prefixes.sort_unstable();
     prefixes.dedup();
-    let coarse_of_prefix: HashMap<u64, NodeId> =
-        prefixes.iter().enumerate().map(|(i, &p)| (p, i as NodeId)).collect();
+    let coarse_of_prefix: HashMap<u64, NodeId> = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as NodeId))
+        .collect();
 
     let mut fine_to_coarse = vec![0 as NodeId; n];
     for (v, &l) in labels.iter().enumerate() {
@@ -154,8 +157,15 @@ pub fn build_hierarchy(
         current_labels = coarse_labels;
     }
     // Coarsest level (no further contraction).
-    levels.push(Level { graph: current_graph, labels: current_labels, fine_to_coarse: Vec::new() });
-    HierarchyRun { levels, total_swaps }
+    levels.push(Level {
+        graph: current_graph,
+        labels: current_labels,
+        fine_to_coarse: Vec::new(),
+    });
+    HierarchyRun {
+        levels,
+        total_swaps,
+    }
 }
 
 #[cfg(test)]

@@ -50,8 +50,16 @@ impl Labeling {
         mapping: &Mapping,
         seed: u64,
     ) -> Self {
-        assert_eq!(graph.num_vertices(), mapping.num_tasks(), "graph/mapping size mismatch");
-        assert_eq!(pcube.num_pes(), mapping.num_pes(), "topology/mapping PE count mismatch");
+        assert_eq!(
+            graph.num_vertices(),
+            mapping.num_tasks(),
+            "graph/mapping size mismatch"
+        );
+        assert_eq!(
+            pcube.num_pes(),
+            mapping.num_pes(),
+            "topology/mapping PE count mismatch"
+        );
         let n = graph.num_vertices();
         let num_pes = mapping.num_pes();
 
@@ -61,7 +69,11 @@ impl Labeling {
             blocks[mapping.pe_of(v) as usize].push(v);
         }
         let max_block = blocks.iter().map(|b| b.len()).max().unwrap_or(0);
-        let ext_bits = if max_block <= 1 { 0 } else { (usize::BITS - (max_block - 1).leading_zeros()) as usize };
+        let ext_bits = if max_block <= 1 {
+            0
+        } else {
+            (usize::BITS - (max_block - 1).leading_zeros()) as usize
+        };
         let dim_p = pcube.dim;
         let dim = dim_p + ext_bits;
         assert!(dim <= 64, "label width {dim} exceeds 64 bits");
@@ -76,9 +88,20 @@ impl Labeling {
                 labels[v as usize] = (lp << ext_bits) | idx as u64;
             }
         }
-        let pe_of_label =
-            pcube.labels.iter().enumerate().map(|(pe, &l)| (l, pe as u32)).collect();
-        Labeling { labels, dim, dim_p, ext_bits, pe_of_label, num_pes }
+        let pe_of_label = pcube
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(pe, &l)| (l, pe as u32))
+            .collect();
+        Labeling {
+            labels,
+            dim,
+            dim_p,
+            ext_bits,
+            pe_of_label,
+            num_pes,
+        }
     }
 
     /// Number of labelled vertices.
@@ -116,7 +139,11 @@ impl Labeling {
     /// Bit mask of the PE-label digits (in un-permuted label space).
     #[inline]
     pub fn p_mask(&self) -> u64 {
-        let full = if self.dim == 64 { u64::MAX } else { (1u64 << self.dim) - 1 };
+        let full = if self.dim == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.dim) - 1
+        };
         full & !self.ext_mask()
     }
 
@@ -127,8 +154,9 @@ impl Labeling {
 
     /// Converts the labeling back into a mapping `µ : Va -> Vp`.
     pub fn to_mapping(&self) -> Mapping {
-        let assignment: Vec<u32> =
-            (0..self.labels.len() as NodeId).map(|v| self.pe_of_vertex(v)).collect();
+        let assignment: Vec<u32> = (0..self.labels.len() as NodeId)
+            .map(|v| self.pe_of_vertex(v))
+            .collect();
         Mapping::new(assignment, self.num_pes)
     }
 
@@ -199,9 +227,7 @@ mod tests {
         // Requirement 2 of Section 4: the PE distance is readable from labels.
         let (ga, pcube, mapping) = setup(3);
         let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 1);
-        let dist = tie_graph::traversal::all_pairs_distances(
-            &Topology::grid2d(4, 4).graph,
-        );
+        let dist = tie_graph::traversal::all_pairs_distances(&Topology::grid2d(4, 4).graph);
         for (u, v, _) in ga.edges().take(500) {
             let h = (labeling.lp_part(u) ^ labeling.lp_part(v)).count_ones();
             assert_eq!(h, dist.get(mapping.pe_of(u), mapping.pe_of(v)));

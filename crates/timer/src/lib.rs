@@ -52,7 +52,12 @@ pub struct TimerConfig {
 
 impl Default for TimerConfig {
     fn default() -> Self {
-        TimerConfig { num_hierarchies: 50, seed: 0, use_diversity: true, threads: 1 }
+        TimerConfig {
+            num_hierarchies: 50,
+            seed: 0,
+            use_diversity: true,
+            threads: 1,
+        }
     }
 }
 
@@ -60,7 +65,11 @@ impl TimerConfig {
     /// Config with the given number of hierarchies and seed, the defaults
     /// otherwise.
     pub fn new(num_hierarchies: usize, seed: u64) -> Self {
-        TimerConfig { num_hierarchies, seed, ..Default::default() }
+        TimerConfig {
+            num_hierarchies,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Disables the diversity term (optimize plain Coco).

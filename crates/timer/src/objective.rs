@@ -63,7 +63,9 @@ pub fn coco_plus(graph: &Graph, labeling: &Labeling) -> Objective {
 pub fn objective_for_labels(graph: &Graph, labels: &[u64], p_mask: u64, e_mask: u64) -> Objective {
     graph
         .edges()
-        .map(|(u, v, w)| w as i64 * label_cost(labels[u as usize], labels[v as usize], p_mask, e_mask))
+        .map(|(u, v, w)| {
+            w as i64 * label_cost(labels[u as usize], labels[v as usize], p_mask, e_mask)
+        })
         .sum()
 }
 
@@ -87,14 +89,16 @@ pub fn swap_delta(
             continue;
         }
         let lw = labels[w as usize];
-        delta += wt as i64 * (label_cost(lv, lw, p_mask, e_mask) - label_cost(lu, lw, p_mask, e_mask));
+        delta +=
+            wt as i64 * (label_cost(lv, lw, p_mask, e_mask) - label_cost(lu, lw, p_mask, e_mask));
     }
     for (w, wt) in graph.edges_of(v) {
         if w == u {
             continue;
         }
         let lw = labels[w as usize];
-        delta += wt as i64 * (label_cost(lu, lw, p_mask, e_mask) - label_cost(lv, lw, p_mask, e_mask));
+        delta +=
+            wt as i64 * (label_cost(lu, lw, p_mask, e_mask) - label_cost(lv, lw, p_mask, e_mask));
     }
     delta
 }
@@ -143,7 +147,12 @@ mod tests {
     #[test]
     fn objective_for_labels_agrees_with_struct_version() {
         let (ga, labeling, _, _) = setup();
-        let obj = objective_for_labels(&ga, &labeling.labels, labeling.p_mask(), labeling.ext_mask());
+        let obj = objective_for_labels(
+            &ga,
+            &labeling.labels,
+            labeling.p_mask(),
+            labeling.ext_mask(),
+        );
         assert_eq!(obj, coco_plus(&ga, &labeling));
     }
 
@@ -157,7 +166,10 @@ mod tests {
             let mut swapped = labeling.labels.clone();
             swapped.swap(u as usize, v as usize);
             let expected = objective_for_labels(&ga, &swapped, p_mask, e_mask) - base;
-            assert_eq!(swap_delta(&ga, &labeling.labels, p_mask, e_mask, u, v), expected);
+            assert_eq!(
+                swap_delta(&ga, &labeling.labels, p_mask, e_mask, u, v),
+                expected
+            );
         }
     }
 

@@ -61,7 +61,10 @@ pub fn parallel_sweep(
                         .collect::<Vec<_>>()
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect::<Vec<_>>()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect::<Vec<_>>()
         })
         .expect("crossbeam scope failed");
         for chunk in chunk_results {
@@ -88,7 +91,8 @@ mod tests {
     use tie_graph::generators;
 
     fn instance(seed: u64) -> (Graph, Vec<u64>) {
-        let g = generators::randomize_edge_weights(&generators::barabasi_albert(256, 3, seed), 4, seed);
+        let g =
+            generators::randomize_edge_weights(&generators::barabasi_albert(256, 3, seed), 4, seed);
         // 8 digits: 3 extension digits, 5 PE digits; labels 0..256 unique.
         let labels: Vec<u64> = (0..256u64).collect();
         (g, labels)
@@ -126,7 +130,10 @@ mod tests {
         let par_swaps = parallel_sweep(&g, &mut par, p_mask, e_mask, 4);
         let seq_after = objective_for_labels(&g, &seq, p_mask, e_mask);
         let par_after = objective_for_labels(&g, &par, p_mask, e_mask);
-        assert!(seq_swaps > 0 && par_swaps > 0, "instance should admit improving swaps");
+        assert!(
+            seq_swaps > 0 && par_swaps > 0,
+            "instance should admit improving swaps"
+        );
         assert!(seq_after < before);
         assert!(par_after < before);
     }

@@ -37,7 +37,11 @@ pub fn polish(
     max_sweeps: usize,
 ) -> PolishStats {
     let p_mask = labeling.p_mask();
-    let e_mask = if use_diversity { labeling.ext_mask() } else { 0 };
+    let e_mask = if use_diversity {
+        labeling.ext_mask()
+    } else {
+        0
+    };
     let mut stats = PolishStats::default();
     for _ in 0..max_sweeps {
         let mut improved_this_sweep = false;
@@ -74,7 +78,8 @@ mod tests {
     use tie_topology::{recognize_partial_cube, Topology};
 
     fn labeled_instance(seed: u64) -> (Graph, Labeling, Mapping) {
-        let ga = generators::randomize_edge_weights(&generators::barabasi_albert(300, 3, seed), 4, seed);
+        let ga =
+            generators::randomize_edge_weights(&generators::barabasi_albert(300, 3, seed), 4, seed);
         let topo = Topology::grid2d(4, 4);
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
         let part = partition(&ga, &PartitionConfig::new(16, seed));
@@ -96,7 +101,10 @@ mod tests {
         assert_eq!(before_plus - after_plus, stats.objective_gain);
         assert_eq!(labeling.sorted_label_set(), before_set);
         assert!(labeling.is_unique());
-        assert!(stats.swaps > 0, "scrambled instance should admit polishing swaps");
+        assert!(
+            stats.swaps > 0,
+            "scrambled instance should admit polishing swaps"
+        );
     }
 
     #[test]

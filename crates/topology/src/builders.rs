@@ -43,7 +43,11 @@ impl Topology {
 
     /// Wraps an arbitrary graph as a custom topology.
     pub fn custom(graph: Graph, name: impl Into<String>) -> Self {
-        Topology { graph, name: name.into(), kind: TopologyKind::Custom }
+        Topology {
+            graph,
+            name: name.into(),
+            kind: TopologyKind::Custom,
+        }
     }
 
     /// 2D grid (mesh) topology with `nx × ny` PEs.

@@ -30,10 +30,18 @@ impl Hierarchy {
     /// # Panics
     /// Panics if `perm` is not a permutation of `0..dim`.
     pub fn new(labels: Vec<Label>, dim: usize, perm: Vec<usize>) -> Self {
-        assert_eq!(perm.len(), dim, "permutation length must equal label dimension");
+        assert_eq!(
+            perm.len(),
+            dim,
+            "permutation length must equal label dimension"
+        );
         let mut check: Vec<usize> = perm.clone();
         check.sort_unstable();
-        assert_eq!(check, (0..dim).collect::<Vec<_>>(), "perm must be a permutation of 0..dim");
+        assert_eq!(
+            check,
+            (0..dim).collect::<Vec<_>>(),
+            "perm must be a permutation of 0..dim"
+        );
         Hierarchy { labels, dim, perm }
     }
 
@@ -69,7 +77,11 @@ impl Hierarchy {
     /// dense block id. Level 0 puts everything in block 0; level `dim`
     /// separates every distinct label.
     pub fn partition_at_level(&self, level: usize) -> Vec<u32> {
-        assert!(level <= self.dim, "level {level} exceeds dimension {}", self.dim);
+        assert!(
+            level <= self.dim,
+            "level {level} exceeds dimension {}",
+            self.dim
+        );
         let mut block_of_key: HashMap<u64, u32> = HashMap::new();
         let mut out = Vec::with_capacity(self.labels.len());
         for v in 0..self.labels.len() {

@@ -33,10 +33,23 @@ pub fn with_bit(label: Label, i: usize, value: u64) -> Label {
 ///
 /// The paper permutes label *digits* to generate diverse hierarchies
 /// (Section 6); this is the corresponding bit-level operation.
+///
+/// # Panics
+/// Panics if `perm.len() != dim` — in all build profiles. A wrong-length
+/// permutation would silently drop or duplicate label digits, corrupting
+/// every mapping derived from the labels downstream, so this is a hard
+/// error rather than a debug-only assertion.
 pub fn permute_label_bits(label: Label, perm: &[usize], dim: usize) -> Label {
-    debug_assert_eq!(perm.len(), dim);
+    assert_eq!(
+        perm.len(),
+        dim,
+        "digit permutation has length {} but the labels have {} digits",
+        perm.len(),
+        dim
+    );
     let mut out = 0u64;
     for (i, &src) in perm.iter().enumerate() {
+        debug_assert!(src < dim, "permutation entry {src} out of range 0..{dim}");
         out |= bit(label, src) << i;
     }
     out
@@ -54,7 +67,10 @@ pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
 /// Renders the low `dim` bits of `label` most-significant-bit first, matching
 /// the paper's figures (e.g. `0110`).
 pub fn format_label(label: Label, dim: usize) -> String {
-    (0..dim).rev().map(|i| if bit(label, i) == 1 { '1' } else { '0' }).collect()
+    (0..dim)
+        .rev()
+        .map(|i| if bit(label, i) == 1 { '1' } else { '0' })
+        .collect()
 }
 
 #[cfg(test)]
@@ -109,6 +125,13 @@ mod tests {
                 assert_eq!(hamming(a, b), hamming(pa, pb));
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "digit permutation has length")]
+    fn wrong_length_permutation_is_rejected_in_all_profiles() {
+        // A short permutation must never silently mis-permute digits.
+        let _ = permute_label_bits(0b1010, &[1, 0], 4);
     }
 
     #[test]

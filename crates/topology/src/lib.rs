@@ -27,4 +27,6 @@ pub mod partial_cube;
 pub use builders::{Topology, TopologyKind};
 pub use hierarchy::Hierarchy;
 pub use label::{hamming, permute_label_bits, Label};
-pub use partial_cube::{is_bipartite, recognize_partial_cube, PartialCubeLabeling, RecognitionError};
+pub use partial_cube::{
+    is_bipartite, recognize_partial_cube, verify_labeling, PartialCubeLabeling, RecognitionError,
+};

@@ -40,13 +40,22 @@ impl std::fmt::Display for RecognitionError {
             RecognitionError::NotBipartite => write!(f, "graph is not bipartite"),
             RecognitionError::Disconnected => write!(f, "graph is not connected"),
             RecognitionError::OverlappingClasses(u, v) => {
-                write!(f, "Djoković classes overlap at edge ({u}, {v}); not a partial cube")
+                write!(
+                    f,
+                    "Djoković classes overlap at edge ({u}, {v}); not a partial cube"
+                )
             }
             RecognitionError::DistanceMismatch(u, v) => {
-                write!(f, "labelling does not reproduce the distance between {u} and {v}")
+                write!(
+                    f,
+                    "labelling does not reproduce the distance between {u} and {v}"
+                )
             }
             RecognitionError::DimensionTooLarge(d) => {
-                write!(f, "isometric dimension {d} exceeds the supported maximum of 64")
+                write!(
+                    f,
+                    "isometric dimension {d} exceeds the supported maximum of 64"
+                )
             }
         }
     }
@@ -123,7 +132,11 @@ fn bipartite_sides(graph: &Graph) -> Option<Vec<u8>> {
 pub fn recognize_partial_cube(graph: &Graph) -> Result<PartialCubeLabeling, RecognitionError> {
     let n = graph.num_vertices();
     if n == 0 {
-        return Ok(PartialCubeLabeling { labels: Vec::new(), dim: 0, edge_class: Vec::new() });
+        return Ok(PartialCubeLabeling {
+            labels: Vec::new(),
+            dim: 0,
+            edge_class: Vec::new(),
+        });
     }
     if !tie_graph::is_connected(graph) {
         return Err(RecognitionError::Disconnected);
@@ -148,8 +161,9 @@ pub fn recognize_partial_cube(graph: &Graph) -> Result<PartialCubeLabeling, Reco
         let class = dim as u32;
         // side[u] = true iff u is closer to x than to y (W_{x,y}). In a
         // bipartite graph adjacent x, y admit no ties.
-        let side: Vec<bool> =
-            (0..n as NodeId).map(|u| dist.get(u, x) < dist.get(u, y)).collect();
+        let side: Vec<bool> = (0..n as NodeId)
+            .map(|u| dist.get(u, x) < dist.get(u, y))
+            .collect();
         for (idx, &(a, b)) in edges.iter().enumerate() {
             if side[a as usize] != side[b as usize] {
                 if edge_class[idx] != u32::MAX {
@@ -177,11 +191,19 @@ pub fn recognize_partial_cube(graph: &Graph) -> Result<PartialCubeLabeling, Reco
     }
 
     verify_labeling(&labels, &dist)?;
-    Ok(PartialCubeLabeling { labels, dim, edge_class })
+    Ok(PartialCubeLabeling {
+        labels,
+        dim,
+        edge_class,
+    })
 }
 
 /// Checks `hamming(lp(u), lp(v)) == d_Gp(u, v)` for all pairs.
-fn verify_labeling(labels: &[Label], dist: &DistanceMatrix) -> Result<(), RecognitionError> {
+///
+/// Public so that callers holding a (possibly transformed) labelling can
+/// re-validate it against the distance matrix — e.g. after permuting label
+/// digits — instead of trusting the transformation blindly.
+pub fn verify_labeling(labels: &[Label], dist: &DistanceMatrix) -> Result<(), RecognitionError> {
     let n = labels.len();
     for u in 0..n {
         for v in (u + 1)..n {
@@ -235,12 +257,30 @@ mod tests {
         // edges, so C_2k contributes k digits, not 2k. The labelling still
         // satisfies distance = Hamming distance (verified below), which is
         // the property TIMER relies on; see EXPERIMENTS.md for discussion.
-        assert_eq!(assert_is_partial_cube(&Topology::grid2d(4, 4).graph, None).dim, 6);
-        assert_eq!(assert_is_partial_cube(&Topology::grid2d(16, 16).graph, None).dim, 30);
-        assert_eq!(assert_is_partial_cube(&Topology::grid3d(8, 8, 8).graph, None).dim, 21);
-        assert_eq!(assert_is_partial_cube(&Topology::torus2d(16, 16).graph, None).dim, 16);
-        assert_eq!(assert_is_partial_cube(&Topology::torus3d(8, 8, 8).graph, None).dim, 12);
-        assert_eq!(assert_is_partial_cube(&Topology::hypercube(8).graph, None).dim, 8);
+        assert_eq!(
+            assert_is_partial_cube(&Topology::grid2d(4, 4).graph, None).dim,
+            6
+        );
+        assert_eq!(
+            assert_is_partial_cube(&Topology::grid2d(16, 16).graph, None).dim,
+            30
+        );
+        assert_eq!(
+            assert_is_partial_cube(&Topology::grid3d(8, 8, 8).graph, None).dim,
+            21
+        );
+        assert_eq!(
+            assert_is_partial_cube(&Topology::torus2d(16, 16).graph, None).dim,
+            16
+        );
+        assert_eq!(
+            assert_is_partial_cube(&Topology::torus3d(8, 8, 8).graph, None).dim,
+            12
+        );
+        assert_eq!(
+            assert_is_partial_cube(&Topology::hypercube(8).graph, None).dim,
+            8
+        );
     }
 
     #[test]
@@ -267,7 +307,10 @@ mod tests {
     #[test]
     fn odd_torus_rejected() {
         let t = Topology::torus2d(3, 4);
-        assert_eq!(recognize_partial_cube(&t.graph).unwrap_err(), RecognitionError::NotBipartite);
+        assert_eq!(
+            recognize_partial_cube(&t.graph).unwrap_err(),
+            RecognitionError::NotBipartite
+        );
     }
 
     #[test]
@@ -290,7 +333,10 @@ mod tests {
     #[test]
     fn disconnected_rejected() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
-        assert_eq!(recognize_partial_cube(&g).unwrap_err(), RecognitionError::Disconnected);
+        assert_eq!(
+            recognize_partial_cube(&g).unwrap_err(),
+            RecognitionError::Disconnected
+        );
     }
 
     #[test]
@@ -312,7 +358,14 @@ mod tests {
         // classes partition the edge set.
         let g = generators::grid2d(3, 2);
         let labeling = assert_is_partial_cube(&g, Some(3));
-        assert_eq!(labeling.edge_class.iter().filter(|&&c| c == u32::MAX).count(), 0);
+        assert_eq!(
+            labeling
+                .edge_class
+                .iter()
+                .filter(|&&c| c == u32::MAX)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -323,6 +376,21 @@ mod tests {
         for &c in &labeling.edge_class {
             assert!((c as usize) < labeling.dim);
         }
+    }
+
+    #[test]
+    fn verify_labeling_catches_corruption() {
+        let g = generators::grid2d(4, 4);
+        let labeling = recognize_partial_cube(&g).unwrap();
+        let dist = all_pairs_distances(&g);
+        assert!(verify_labeling(&labeling.labels, &dist).is_ok());
+        // Flip one digit of one label: some pairwise distance must now break.
+        let mut corrupted = labeling.labels.clone();
+        corrupted[3] ^= 1;
+        assert!(matches!(
+            verify_labeling(&corrupted, &dist),
+            Err(RecognitionError::DistanceMismatch(_, _))
+        ));
     }
 
     #[test]

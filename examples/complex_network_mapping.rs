@@ -3,7 +3,7 @@
 //! mapping strategies (c1–c4) on one network/topology pair and shows how much
 //! TIMER improves each of them.
 //!
-//! Run with: `cargo run -p tie-bench --example complex_network_mapping --release`
+//! Run with: `cargo run --release --example complex_network_mapping`
 
 use tie_bench::experiment::{run_case, ExperimentCase, ExperimentConfig};
 use tie_bench::workloads::{paper_networks, Scale};
@@ -11,7 +11,10 @@ use tie_topology::Topology;
 
 fn main() {
     // A citation-network stand-in mapped onto an 8x8x8-like (4x4x4) torus.
-    let spec = paper_networks().into_iter().find(|s| s.name == "citationCiteseer").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "citationCiteseer")
+        .unwrap();
     let ga = spec.build(Scale::Small);
     let topo = Topology::torus3d(4, 4, 4);
     println!(
@@ -23,7 +26,10 @@ fn main() {
         topo.num_pes()
     );
 
-    let config = ExperimentConfig { num_hierarchies: 10, ..Default::default() };
+    let config = ExperimentConfig {
+        num_hierarchies: 10,
+        ..Default::default()
+    };
     println!(
         "{:<24} {:>12} {:>12} {:>9} {:>12} {:>12}",
         "initial mapping", "Coco before", "Coco after", "impr.", "Cut before", "Cut after"

@@ -2,7 +2,7 @@
 //! 4-dimensional hypercube induced by permutations of the label digits, plus
 //! the partial-cube labelling of Figure 3's style for a small grid.
 //!
-//! Run with: `cargo run -p tie-bench --example hierarchies --release`
+//! Run with: `cargo run --release --example hierarchies`
 
 use tie_topology::label::format_label;
 use tie_topology::{recognize_partial_cube, Hierarchy, Topology};
@@ -11,11 +11,21 @@ fn main() {
     // Figure 2: hierarchies of the 4-D hypercube.
     let hq = Topology::hypercube(4);
     let labeling = recognize_partial_cube(&hq.graph).expect("hypercubes are partial cubes");
-    println!("4-dimensional hypercube: {} PEs, {} label digits\n", hq.num_pes(), labeling.dim);
+    println!(
+        "4-dimensional hypercube: {} PEs, {} label digits\n",
+        hq.num_pes(),
+        labeling.dim
+    );
 
     for (name, perm) in [
-        ("pi = (1,2,3,4)  (identity)", (0..labeling.dim).rev().collect::<Vec<_>>()),
-        ("pi = (4,3,2,1)  (opposite)", (0..labeling.dim).collect::<Vec<_>>()),
+        (
+            "pi = (1,2,3,4)  (identity)",
+            (0..labeling.dim).rev().collect::<Vec<_>>(),
+        ),
+        (
+            "pi = (4,3,2,1)  (opposite)",
+            (0..labeling.dim).collect::<Vec<_>>(),
+        ),
     ] {
         let h = Hierarchy::new(labeling.labels.clone(), labeling.dim, perm);
         println!("hierarchy {name}");

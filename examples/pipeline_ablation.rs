@@ -6,7 +6,7 @@
 //! * TIMER vs a plain pairwise-swap refinement on the communication graph
 //!   (network-cost-matrix baseline).
 //!
-//! Run with: `cargo run -p tie-bench --example pipeline_ablation --release`
+//! Run with: `cargo run --release --example pipeline_ablation`
 
 use std::time::Instant;
 
@@ -18,7 +18,10 @@ use tie_timer::{enhance_mapping, TimerConfig};
 use tie_topology::{recognize_partial_cube, Topology};
 
 fn main() {
-    let spec = paper_networks().into_iter().find(|s| s.name == "web-Google").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "web-Google")
+        .unwrap();
     let ga = spec.build(Scale::Small);
     let topo = Topology::grid2d(8, 8);
     let pcube = recognize_partial_cube(&topo.graph).unwrap();
@@ -31,7 +34,10 @@ fn main() {
         ga.num_vertices(),
         topo.name
     );
-    println!("{:<44} {:>12} {:>9} {:>9}", "variant", "Coco", "impr.", "time [s]");
+    println!(
+        "{:<44} {:>12} {:>9} {:>9}",
+        "variant", "Coco", "impr.", "time [s]"
+    );
 
     let run = |label: &str, cfg: TimerConfig| {
         let t = Instant::now();
@@ -48,8 +54,14 @@ fn main() {
 
     run("TIMER, NH=10", TimerConfig::new(10, 1));
     run("TIMER, NH=50 (paper setting)", TimerConfig::new(50, 1));
-    run("TIMER, NH=10, no diversity term", TimerConfig::new(10, 1).without_diversity());
-    run("TIMER, NH=10, 4 sweep threads", TimerConfig::new(10, 1).with_threads(4));
+    run(
+        "TIMER, NH=10, no diversity term",
+        TimerConfig::new(10, 1).without_diversity(),
+    );
+    run(
+        "TIMER, NH=10, 4 sweep threads",
+        TimerConfig::new(10, 1).with_threads(4),
+    );
 
     // Extension (conclusions of the paper): TIMER followed by a cut-edge
     // polishing pass that swaps arbitrary labels, not just single digits.

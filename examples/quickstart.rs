@@ -1,7 +1,7 @@
 //! Quickstart: map a small complex network onto a 2D grid and enhance the
 //! mapping with TIMER.
 //!
-//! Run with: `cargo run -p tie-bench --example quickstart --release`
+//! Run with: `cargo run --release --example quickstart`
 
 use tie_graph::generators;
 use tie_mapping::identity_mapping;
@@ -13,17 +13,29 @@ use tie_topology::{recognize_partial_cube, Topology};
 fn main() {
     // 1. An application graph: a scale-free network with 2 000 tasks.
     let ga = generators::barabasi_albert(2_000, 4, 42);
-    println!("application graph: {} tasks, {} communication edges", ga.num_vertices(), ga.num_edges());
+    println!(
+        "application graph: {} tasks, {} communication edges",
+        ga.num_vertices(),
+        ga.num_edges()
+    );
 
     // 2. A processor graph: an 8x8 grid (64 PEs). Grids are partial cubes, so
     //    TIMER applies.
     let topo = Topology::grid2d(8, 8);
     let pcube = recognize_partial_cube(&topo.graph).expect("grids are partial cubes");
-    println!("processor graph: {} ({} PEs, {} convex cuts)", topo.name, topo.num_pes(), pcube.dim);
+    println!(
+        "processor graph: {} ({} PEs, {} convex cuts)",
+        topo.name,
+        topo.num_pes(),
+        pcube.dim
+    );
 
     // 3. Partition the application graph into one block per PE (3 % imbalance,
     //    the paper's setting) and map block i to PE i (the IDENTITY baseline).
-    let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 7).with_epsilon(0.03));
+    let part = partition(
+        &ga,
+        &PartitionConfig::new(topo.num_pes(), 7).with_epsilon(0.03),
+    );
     let initial = identity_mapping(&part, topo.num_pes());
 
     // 4. Enhance the mapping with TIMER (10 hierarchies are usually enough).
@@ -33,10 +45,22 @@ fn main() {
     let before = evaluate(&ga, &topo.graph, &initial);
     let after = evaluate(&ga, &topo.graph, &result.mapping);
     println!("\n{:<22} {:>12} {:>12}", "metric", "initial", "after TIMER");
-    println!("{:<22} {:>12} {:>12}", "Coco (hop-byte)", before.coco, after.coco);
-    println!("{:<22} {:>12} {:>12}", "edge cut", before.edge_cut, after.edge_cut);
-    println!("{:<22} {:>12.3} {:>12.3}", "avg dilation", before.avg_dilation, after.avg_dilation);
-    println!("{:<22} {:>12} {:>12}", "congestion", before.congestion, after.congestion);
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "Coco (hop-byte)", before.coco, after.coco
+    );
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "edge cut", before.edge_cut, after.edge_cut
+    );
+    println!(
+        "{:<22} {:>12.3} {:>12.3}",
+        "avg dilation", before.avg_dilation, after.avg_dilation
+    );
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "congestion", before.congestion, after.congestion
+    );
     println!(
         "\nTIMER reduced Coco by {:.1}% ({} of {} hierarchies accepted, {} label swaps)",
         100.0 * result.coco_improvement(),

@@ -1,0 +1,7 @@
+//! Workspace-level umbrella crate for the TiMEr reproduction.
+//!
+//! This crate carries no code of its own: it exists so the repository root
+//! owns the cross-crate integration tests in `tests/` and the runnable
+//! examples in `examples/`. The actual functionality lives in the
+//! `crates/*` workspace members (`tie-graph`, `tie-partition`,
+//! `tie-mapping`, `tie-metrics`, `tie-topology`, `tie-timer`, `tie-bench`).

@@ -13,12 +13,16 @@ use tie_bench::stats::geometric_mean;
 use tie_bench::workloads::{quick_networks, Scale};
 use tie_topology::Topology;
 
-fn mean_quotients(
-    case: ExperimentCase,
-    topo: &Topology,
-    nh: usize,
-) -> (f64, f64) {
-    let config = ExperimentConfig { num_hierarchies: nh, ..Default::default() };
+/// Every run in this suite pins its seed through `ExperimentConfig` so the
+/// asserted quotients are reproducible run-to-run (no ambient randomness).
+const SUITE_SEED: u64 = 1;
+
+fn mean_quotients(case: ExperimentCase, topo: &Topology, nh: usize) -> (f64, f64) {
+    let config = ExperimentConfig {
+        num_hierarchies: nh,
+        seed: SUITE_SEED,
+        ..Default::default()
+    };
     let mut coco_q = Vec::new();
     let mut cut_q = Vec::new();
     for spec in quick_networks().iter().take(3) {
@@ -27,7 +31,9 @@ fn mean_quotients(
         coco_q.push(r.coco_quotient());
         cut_q.push(r.cut_quotient());
     }
-    (geometric_mean(&coco_q), geometric_mean(&cut_q))
+    let coco_gm = geometric_mean(&coco_q).expect("sweep produced no Coco quotients");
+    let cut_gm = geometric_mean(&cut_q).expect("sweep produced no cut quotients");
+    (coco_gm, cut_gm)
 }
 
 #[test]
@@ -36,7 +42,10 @@ fn timer_reduces_coco_for_scrambled_like_initial_mappings() {
     // minimum TIMER must not lose quality, and on the 2D grid it should gain.
     let topo = Topology::grid2d(8, 8);
     let (coco_q, _) = mean_quotients(ExperimentCase::C1Drb, &topo, 10);
-    assert!(coco_q <= 1.0 + 1e-9, "geometric mean Coco quotient {coco_q} should not exceed 1");
+    assert!(
+        coco_q <= 1.0 + 1e-9,
+        "geometric mean Coco quotient {coco_q} should not exceed 1"
+    );
 }
 
 #[test]
@@ -76,12 +85,18 @@ fn timer_runtime_is_comparable_to_partitioning() {
     let spec = &quick_networks()[0];
     let ga = spec.build(Scale::Tiny);
     let topo = Topology::grid2d(8, 8);
-    let config = ExperimentConfig { num_hierarchies: 10, ..Default::default() };
+    let config = ExperimentConfig {
+        num_hierarchies: 10,
+        ..Default::default()
+    };
     let start = Instant::now();
     let r = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
     let _total = start.elapsed();
     let ratio = r.timer_time.as_secs_f64() / r.partition_time.as_secs_f64().max(1e-6);
-    assert!(ratio < 25.0, "TIMER/partitioner time ratio {ratio} too large");
+    assert!(
+        ratio < 25.0,
+        "TIMER/partitioner time ratio {ratio} too large"
+    );
 }
 
 #[test]
@@ -89,10 +104,72 @@ fn more_hierarchies_help_or_tie() {
     let topo = Topology::torus2d(8, 8);
     let spec = &quick_networks()[1];
     let ga = spec.build(Scale::Tiny);
-    let cfg_few = ExperimentConfig { num_hierarchies: 2, ..Default::default() };
-    let cfg_many = ExperimentConfig { num_hierarchies: 12, ..Default::default() };
+    let cfg_few = ExperimentConfig {
+        num_hierarchies: 2,
+        seed: SUITE_SEED,
+        ..Default::default()
+    };
+    let cfg_many = ExperimentConfig {
+        num_hierarchies: 12,
+        seed: SUITE_SEED,
+        ..Default::default()
+    };
     let few = run_case(&ga, &topo, ExperimentCase::C2Identity, &cfg_few);
     let many = run_case(&ga, &topo, ExperimentCase::C2Identity, &cfg_many);
     // Same seed, more rounds: the accepted objective can only improve.
     assert!(many.enhanced.coco as f64 <= few.enhanced.coco as f64 * 1.02);
+}
+
+#[test]
+fn experiments_are_deterministic_in_the_config_seed() {
+    let topo = Topology::grid2d(8, 8);
+    let spec = &quick_networks()[0];
+    let ga = spec.build(Scale::Tiny);
+    let config = ExperimentConfig {
+        num_hierarchies: 6,
+        seed: SUITE_SEED,
+        ..Default::default()
+    };
+    let a = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
+    let b = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
+    assert_eq!(a.initial.coco, b.initial.coco);
+    assert_eq!(a.enhanced.coco, b.enhanced.coco);
+    assert_eq!(a.enhanced.edge_cut, b.enhanced.edge_cut);
+    assert_eq!(a.hierarchies_accepted, b.hierarchies_accepted);
+}
+
+#[test]
+fn enhance_never_worsens_coco_plus_on_4x4_torus() {
+    // Smoke test for the core invariant: on a 4x4 torus, Timer::enhance
+    // accepts a hierarchy round only if it improves Coco+ without worsening
+    // Coco, so neither objective may end up worse than it started.
+    use tie_mapping::Mapping;
+    use tie_partition::{partition, PartitionConfig};
+    use tie_timer::{enhance_mapping, TimerConfig};
+    use tie_topology::recognize_partial_cube;
+
+    let topo = Topology::torus2d(4, 4);
+    let pcube = recognize_partial_cube(&topo.graph).expect("4x4 torus is a partial cube");
+    for (i, spec) in quick_networks().iter().take(3).enumerate() {
+        let ga = spec.build(Scale::Tiny);
+        let seed = SUITE_SEED + i as u64;
+        let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), seed));
+        let scramble = tie_graph::generators::random_permutation(topo.num_pes(), seed);
+        let mapping = Mapping::from_partition(&part, &scramble, topo.num_pes());
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, seed));
+        assert!(
+            result.final_coco_plus <= result.initial_coco_plus,
+            "{}: Coco+ worsened {} -> {}",
+            spec.name,
+            result.initial_coco_plus,
+            result.final_coco_plus
+        );
+        assert!(
+            result.final_coco <= result.initial_coco,
+            "{}: Coco worsened {} -> {}",
+            spec.name,
+            result.initial_coco,
+            result.final_coco
+        );
+    }
 }

@@ -12,7 +12,10 @@ use tie_topology::{recognize_partial_cube, Topology};
 
 /// Small but non-trivial shared fixture.
 fn fixture() -> (tie_graph::Graph, Topology) {
-    let spec = paper_networks().into_iter().find(|s| s.name == "email-EuAll").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "email-EuAll")
+        .unwrap();
     (spec.build(Scale::Tiny), Topology::grid2d(8, 8))
 }
 
@@ -21,7 +24,11 @@ fn full_pipeline_c2_identity() {
     let (ga, topo) = fixture();
     let pcube = recognize_partial_cube(&topo.graph).unwrap();
     let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 1));
-    assert!(part.is_balanced(&ga, 0.03 + 1e-9), "partition imbalance {}", part.imbalance(&ga));
+    assert!(
+        part.is_balanced(&ga, 0.03 + 1e-9),
+        "partition imbalance {}",
+        part.imbalance(&ga)
+    );
 
     let initial = identity_mapping(&part, topo.num_pes());
     let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 1));
@@ -46,8 +53,14 @@ fn every_initial_mapping_strategy_composes_with_timer() {
     let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 2));
     let candidates: Vec<(&str, Mapping)> = vec![
         ("identity", identity_mapping(&part, topo.num_pes())),
-        ("greedy_allc", greedy::greedy_allc_mapping(&ga, &part, &topo.graph)),
-        ("greedy_min", greedy::greedy_min_mapping(&ga, &part, &topo.graph)),
+        (
+            "greedy_allc",
+            greedy::greedy_allc_mapping(&ga, &part, &topo.graph),
+        ),
+        (
+            "greedy_min",
+            greedy::greedy_min_mapping(&ga, &part, &topo.graph),
+        ),
         ("drb", drb::drb_mapping(&ga, &part, &topo.graph, 5)),
     ];
     for (name, initial) in candidates {
@@ -59,22 +72,37 @@ fn every_initial_mapping_strategy_composes_with_timer() {
         assert!(result.final_coco_plus <= result.initial_coco_plus, "{name}");
         assert!(after.coco as f64 <= before.coco as f64 * 1.05, "{name}");
         // The mapping stays a function onto the same PE set.
-        assert_eq!(after.imbalance, before.imbalance, "{name}: balance must be preserved");
+        assert_eq!(
+            after.imbalance, before.imbalance,
+            "{name}: balance must be preserved"
+        );
     }
 }
 
 #[test]
 fn timer_on_all_small_topologies() {
-    let spec = paper_networks().into_iter().find(|s| s.name == "p2p-Gnutella").unwrap();
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "p2p-Gnutella")
+        .unwrap();
     let ga = spec.build(Scale::Tiny);
     for topo in Topology::small_topologies() {
-        let pcube = recognize_partial_cube(&topo.graph)
-            .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
+        let pcube =
+            recognize_partial_cube(&topo.graph).unwrap_or_else(|e| panic!("{}: {e}", topo.name));
         let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 7));
         let initial = identity_mapping(&part, topo.num_pes());
         let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(5, 7));
-        assert!(result.final_coco_plus <= result.initial_coco_plus, "{}", topo.name);
-        assert_eq!(result.final_coco, coco(&ga, &topo.graph, &result.mapping), "{}", topo.name);
+        assert!(
+            result.final_coco_plus <= result.initial_coco_plus,
+            "{}",
+            topo.name
+        );
+        assert_eq!(
+            result.final_coco,
+            coco(&ga, &topo.graph, &result.mapping),
+            "{}",
+            topo.name
+        );
     }
 }
 

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` benchmark framework.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! API surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `BenchmarkGroup::
+//! {sample_size, bench_function, bench_with_input, finish}`, `BenchmarkId`
+//! and `Bencher::iter` — measuring plain wall-clock time instead of
+//! criterion's statistical machinery. Each benchmark runs `sample_size`
+//! samples (after one warm-up iteration) and prints min/mean/max per
+//! iteration, so `cargo bench` produces readable output and
+//! `cargo bench --no-run` compiles the real bench sources unchanged.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to the bench closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run the routine once for warm-up, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(group: &str, id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+    };
+    f(&mut bencher);
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = *bencher.samples.iter().min().unwrap();
+    let max = *bencher.samples.iter().max().unwrap();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{name:<50} [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&self.name, id, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one("", id, self.sample_size, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("fib");
+        group.sample_size(3);
+        for n in [5u64, 10] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| fib(n));
+            });
+        }
+        group.bench_function("fixed", |b| b.iter(|| fib(8)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}
