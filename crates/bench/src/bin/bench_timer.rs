@@ -1,0 +1,115 @@
+//! TIMER perf-trajectory harness: times `Timer::enhance` per workload scale
+//! × thread count and writes the machine-readable `BENCH_timer.json`
+//! artifact, so the wall-clock/quality trajectory of the batched driver is
+//! tracked across PRs. The batched driver is byte-identical to the
+//! sequential one, so `final_coco` must agree across thread counts within a
+//! scale — the harness asserts it.
+//!
+//! Usage:
+//!   cargo run -p tie-bench --bin bench_timer --release -- \
+//!       [--out BENCH_timer.json] [--nh 40] [--quick]
+//!
+//! `--quick` restricts to the tiny scale with a small NH (for CI smoke runs).
+
+use std::time::Instant;
+
+use tie_bench::report::{format_bench_json, TimerBenchEntry};
+use tie_bench::workloads::{paper_networks, Scale};
+use tie_graph::generators::random_permutation;
+use tie_mapping::Mapping;
+use tie_partition::{partition, PartitionConfig};
+use tie_timer::{enhance_mapping, TimerConfig};
+use tie_topology::{recognize_partial_cube, Topology};
+
+const NETWORK: &str = "PGPgiantcompo";
+const SEED: u64 = 1;
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value("--out").unwrap_or("BENCH_timer.json");
+    let nh: usize = flag_value("--nh")
+        .map(|v| v.parse().expect("--nh needs a number"))
+        .unwrap_or(if quick { 6 } else { 40 });
+    let scales: &[Scale] = if quick {
+        &[Scale::Tiny]
+    } else {
+        &[Scale::Tiny, Scale::Small, Scale::Medium]
+    };
+    let thread_counts = [1usize, 2, 4];
+
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == NETWORK)
+        .expect("catalogue network");
+    let topo = Topology::grid2d(8, 8);
+    let pcube = recognize_partial_cube(&topo.graph).expect("grids are partial cubes");
+
+    let mut entries: Vec<TimerBenchEntry> = Vec::new();
+    for &scale in scales {
+        let ga = spec.build(scale);
+        let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), SEED));
+        // Scrambled block-to-PE bijection: plenty of room for improvement, so
+        // the accept pattern (accept-heavy head, reject-heavy tail) matches
+        // the realistic enhancement workload instead of a no-op run.
+        let scramble = random_permutation(topo.num_pes(), SEED);
+        let mapping = Mapping::from_partition(&part, &scramble, topo.num_pes());
+        eprintln!(
+            "scale {}: {} vertices, {} edges",
+            scale_name(scale),
+            ga.num_vertices(),
+            ga.num_edges()
+        );
+        let mut reference_coco: Option<u64> = None;
+        for &threads in &thread_counts {
+            let cfg = TimerConfig::new(nh, SEED).with_threads(threads);
+            let effective_batch = cfg.effective_batch();
+            let start = Instant::now();
+            let result = enhance_mapping(&ga, &pcube, &mapping, cfg);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "  threads {threads}: {wall_ms:.1} ms, Coco {} -> {} ({} kept rounds)",
+                result.initial_coco, result.final_coco, result.hierarchies_accepted
+            );
+            match reference_coco {
+                None => reference_coco = Some(result.final_coco),
+                Some(reference) => assert_eq!(
+                    result.final_coco, reference,
+                    "batched driver diverged from the sequential trajectory"
+                ),
+            }
+            entries.push(TimerBenchEntry {
+                scale: scale_name(scale).to_string(),
+                threads,
+                batch: effective_batch,
+                wall_ms,
+                initial_coco: result.initial_coco,
+                final_coco: result.final_coco,
+                accepted: result.hierarchies_accepted,
+                total_swaps: result.total_swaps,
+            });
+        }
+    }
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format_bench_json(nh, NETWORK, &topo.name, hardware_threads, &entries);
+    std::fs::write(out_path, &json).expect("failed to write bench artifact");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

@@ -7,7 +7,8 @@
 //! Usage:
 //!   cargo run -p tie-bench --bin map_file --release -- \
 //!       --graph app.metis --topology grid16x16 [--case c2|c3|c4|c1] \
-//!       [--nh 50] [--eps 0.03] [--seed 1] [--out mapping.txt]
+//!       [--nh 50] [--eps 0.03] [--seed 1] [--threads N] [--batch B] \
+//!       [--out mapping.txt]
 //!
 //! Supported topology names: gridAxB, gridAxBxC, torusAxB, torusAxBxC,
 //! hypercubeD, treeN, pathN.
@@ -74,6 +75,12 @@ fn main() {
         .map(|v| v.parse().unwrap())
         .unwrap_or(1);
     let case = flag_value(&args, "--case").unwrap_or("c2");
+    let threads: usize = flag_value(&args, "--threads")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(1);
+    let batch: usize = flag_value(&args, "--batch")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(0);
     let out = flag_value(&args, "--out");
 
     // Load the application graph; without --graph a demo network is used so
@@ -114,7 +121,8 @@ fn main() {
                 num_hierarchies: nh,
                 epsilon: eps,
                 seed,
-                threads: 1,
+                threads,
+                batch,
             };
             let result = run_case(&ga, &topo, c, &config);
             eprintln!(
@@ -146,7 +154,14 @@ fn main() {
             };
             let pcube =
                 recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
-            let res = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(nh, seed));
+            let res = enhance_mapping(
+                &ga,
+                &pcube,
+                &initial,
+                TimerConfig::new(nh, seed)
+                    .with_threads(threads)
+                    .with_batch(batch),
+            );
             (initial, res.mapping)
         }
         None => {
@@ -160,7 +175,14 @@ fn main() {
             let initial = identity_mapping(&part, topo.num_pes());
             let pcube =
                 recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
-            let res = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(nh, seed));
+            let res = enhance_mapping(
+                &ga,
+                &pcube,
+                &initial,
+                TimerConfig::new(nh, seed)
+                    .with_threads(threads)
+                    .with_batch(batch),
+            );
             (initial, res.mapping)
         }
     };

@@ -2,7 +2,7 @@
 //! Figures 5a–5d and Table 2. This is the binary EXPERIMENTS.md is generated
 //! from.
 //!
-//! Usage: `cargo run -p tie-bench --bin run_all --release -- [--scale tiny|small|medium] [--reps N] [--nh N]`
+//! Usage: `cargo run -p tie-bench --bin run_all --release -- [--scale tiny|small|medium] [--reps N] [--nh N] [--threads N] [--batch B]`
 
 use std::time::Instant;
 
@@ -23,13 +23,18 @@ fn main() {
 
     println!("== TIMER reproduction: reduced-scale evaluation ==");
     println!(
-        "scale {:?}, {} networks, {} topologies, reps {}, NH {}, eps {}\n",
+        "scale {:?}, {} networks, {} topologies, reps {}, NH {}, eps {}, threads {} (batch {})\n",
         options.scale,
         networks.len(),
         topologies.len(),
         options.repetitions,
         options.num_hierarchies,
-        options.epsilon
+        options.epsilon,
+        options.threads,
+        tie_timer::TimerConfig::default()
+            .with_threads(options.threads)
+            .with_batch(options.batch)
+            .effective_batch()
     );
 
     // Table 1 (reduced).

@@ -74,8 +74,11 @@ pub struct ExperimentConfig {
     pub epsilon: f64,
     /// Base seed; repetition `r` uses `seed + r`.
     pub seed: u64,
-    /// Worker threads for TIMER's level-1 sweep (1 = paper setting).
+    /// Worker threads for TIMER's speculative hierarchy batches
+    /// (1 = paper setting; results are byte-identical for any value).
     pub threads: usize,
+    /// Hierarchy rounds speculated per batch (0 = match `threads`).
+    pub batch: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -85,6 +88,7 @@ impl Default for ExperimentConfig {
             epsilon: 0.03,
             seed: 1,
             threads: 1,
+            batch: 0,
         }
     }
 }
@@ -177,6 +181,7 @@ pub fn run_case(
         seed: config.seed,
         use_diversity: true,
         threads: config.threads,
+        batch: config.batch,
     };
     let t2 = Instant::now();
     let result = enhance_mapping(ga, &pcube, &initial_mapping, timer_cfg);

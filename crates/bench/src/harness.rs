@@ -22,8 +22,10 @@ pub struct SweepOptions {
     pub num_hierarchies: usize,
     /// Partitioner imbalance (3 % in the paper).
     pub epsilon: f64,
-    /// Worker threads for TIMER.
+    /// Worker threads for TIMER's speculative hierarchy batches.
     pub threads: usize,
+    /// Hierarchy rounds speculated per batch (0 = match `threads`).
+    pub batch: usize,
 }
 
 impl Default for SweepOptions {
@@ -34,6 +36,7 @@ impl Default for SweepOptions {
             num_hierarchies: 10,
             epsilon: 0.03,
             threads: 1,
+            batch: 0,
         }
     }
 }
@@ -77,6 +80,7 @@ pub fn run_sweep(
                     epsilon: options.epsilon,
                     seed: spec.seed.wrapping_mul(31).wrapping_add(rep as u64),
                     threads: options.threads,
+                    batch: options.batch,
                 };
                 let result = run_case(&ga, topo, case, &config);
                 coco_q.push(result.coco_quotient());
@@ -164,8 +168,8 @@ pub fn timing_rows(
 }
 
 /// Parses the flags shared by the binaries (`--scale`, `--reps`, `--nh`,
-/// `--threads`, `--full`). Unknown flags are ignored so binaries can add
-/// their own.
+/// `--threads`, `--batch`, `--full`). Unknown flags are ignored so binaries
+/// can add their own.
 pub fn parse_options(args: &[String]) -> SweepOptions {
     let mut opts = SweepOptions::default();
     let mut i = 0;
@@ -190,6 +194,10 @@ pub fn parse_options(args: &[String]) -> SweepOptions {
             }
             "--threads" if i + 1 < args.len() => {
                 opts.threads = args[i + 1].parse().expect("--threads needs a number");
+                i += 1;
+            }
+            "--batch" if i + 1 < args.len() => {
+                opts.batch = args[i + 1].parse().expect("--batch needs a number");
                 i += 1;
             }
             "--full" => {
@@ -220,6 +228,7 @@ mod tests {
             num_hierarchies: 3,
             epsilon: 0.03,
             threads: 1,
+            batch: 0,
         };
         let cells = run_sweep(networks, &topologies, ExperimentCase::C2Identity, &options);
         assert_eq!(cells.len(), networks.len() * topologies.len());
@@ -250,6 +259,8 @@ mod tests {
             "12",
             "--threads",
             "2",
+            "--batch",
+            "4",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -259,6 +270,7 @@ mod tests {
         assert_eq!(o.repetitions, 7);
         assert_eq!(o.num_hierarchies, 12);
         assert_eq!(o.threads, 2);
+        assert_eq!(o.batch, 4);
         let full = parse_options(&["--full".to_string()]);
         assert_eq!(full.repetitions, 5);
         assert_eq!(full.num_hierarchies, 50);

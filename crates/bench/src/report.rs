@@ -133,6 +133,71 @@ pub fn format_partition_times(rows: &[(String, f64, f64)], k_labels: (&str, &str
     out
 }
 
+/// One measurement of the TIMER perf-trajectory harness (`bench_timer`):
+/// a full `Timer::enhance` run at one scale × thread-count cell.
+#[derive(Clone, Debug)]
+pub struct TimerBenchEntry {
+    /// Workload scale name (`tiny`, `small`, `medium`).
+    pub scale: String,
+    /// Worker threads for the speculative batches.
+    pub threads: usize,
+    /// Effective batch depth (the resolved value, not the 0 sentinel).
+    pub batch: usize,
+    /// Wall-clock of the `enhance` call in milliseconds.
+    pub wall_ms: f64,
+    /// Coco of the initial mapping.
+    pub initial_coco: u64,
+    /// Coco of the enhanced mapping (byte-identical across thread counts).
+    pub final_coco: u64,
+    /// Hierarchy rounds whose result was kept.
+    pub accepted: usize,
+    /// Label swaps performed across all sweeps.
+    pub total_swaps: usize,
+}
+
+/// Serializes the perf-trajectory measurements as the `BENCH_timer.json`
+/// artifact: machine-readable, diffable, one object per cell. No external
+/// JSON crate is available offline, so the (flat, numeric) structure is
+/// emitted by hand.
+pub fn format_bench_json(
+    nh: usize,
+    network: &str,
+    topology: &str,
+    hardware_threads: usize,
+    entries: &[TimerBenchEntry],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"timer\",");
+    let _ = writeln!(out, "  \"nh\": {nh},");
+    let _ = writeln!(out, "  \"network\": \"{network}\",");
+    let _ = writeln!(out, "  \"topology\": \"{topology}\",");
+    // Wall-clock context: with hardware_threads = 1 the batched rows can at
+    // best tie the sequential row; real speedups need real cores.
+    let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"scale\": \"{}\", \"threads\": {}, \"batch\": {}, \"wall_ms\": {:.3}, \
+             \"initial_coco\": {}, \"final_coco\": {}, \"accepted\": {}, \"total_swaps\": {}}}{}",
+            e.scale,
+            e.threads,
+            e.batch,
+            e.wall_ms,
+            e.initial_coco,
+            e.final_coco,
+            e.accepted,
+            e.total_swaps,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +266,45 @@ mod tests {
         assert!(s.contains("torus16x16"));
         assert!(s.contains("qT_mean"));
         assert!(s.contains("21.0000"));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let entries = vec![
+            TimerBenchEntry {
+                scale: "tiny".into(),
+                threads: 1,
+                batch: 1,
+                wall_ms: 12.3456,
+                initial_coco: 100,
+                final_coco: 80,
+                accepted: 3,
+                total_swaps: 42,
+            },
+            TimerBenchEntry {
+                scale: "tiny".into(),
+                threads: 4,
+                batch: 4,
+                wall_ms: 4.0,
+                initial_coco: 100,
+                final_coco: 80,
+                accepted: 3,
+                total_swaps: 42,
+            },
+        ];
+        let s = format_bench_json(10, "PGPgiantcompo", "grid8x8", 4, &entries);
+        // Structural sanity without a JSON parser: balanced braces/brackets,
+        // exactly one trailing-comma-free list, and the key fields present.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert!(!s.contains(",\n  ]"), "trailing comma before list close");
+        assert!(s.contains("\"bench\": \"timer\""));
+        assert!(s.contains("\"nh\": 10"));
+        assert!(s.contains("\"hardware_threads\": 4"));
+        assert!(s.contains("\"wall_ms\": 12.346"));
+        assert!(s.contains("\"threads\": 4"));
+        assert!(s.contains("\"final_coco\": 80"));
+        assert_eq!(s.matches("\"scale\"").count(), 2);
     }
 
     #[test]

@@ -1,9 +1,33 @@
 //! The TIMER driver (Algorithm 1): multi-hierarchical label swapping over
 //! `NH` random digit permutations.
+//!
+//! # Speculative hierarchy batches
+//!
+//! The `NH` rounds form a sequential chain only through the accept gate:
+//! round `k` starts from whatever labeling rounds `0..k` left behind. Most
+//! rounds are *rejected*, though, so the chain rarely advances — which makes
+//! the rounds ideal targets for speculation. With `threads > 1` the driver
+//! runs a batch of `B` rounds (distinct digit permutations) concurrently
+//! from the same accepted base labeling, then commits the results in
+//! permutation order against the live gate. A kept round that actually
+//! changes the labels invalidates the not-yet-committed speculations (they
+//! were built from a stale base); those rounds are discarded — without
+//! touching any counter — and re-executed from the new base in the next
+//! batch. The committed trajectory is therefore **byte-identical to the
+//! sequential driver** for every `(threads, batch)` combination: same
+//! labels, same counters, same result, never worse than the sequential
+//! trajectory — batching and threading are pure scheduling knobs.
+//!
+//! The speculation depth adapts like a branch predictor: it doubles after
+//! every batch whose speculations all survived and resets to 1 whenever an
+//! acceptance invalidated the batch, so the accept-heavy early rounds run
+//! (nearly) waste-free while the reject-heavy tail gets full parallelism.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+use crossbeam::thread;
 
 use tie_graph::Graph;
 use tie_mapping::Mapping;
@@ -13,7 +37,7 @@ use tie_topology::PartialCubeLabeling;
 use crate::assemble::assemble_labels;
 use crate::hierarchy::build_hierarchy;
 use crate::labeling::Labeling;
-use crate::objective::{coco, coco_plus, diversity, objective_for_labels};
+use crate::objective::{coco_and_div_for_labels, coco_div_delta, AcceptGate};
 use crate::TimerConfig;
 
 /// The TIMER mapping enhancer.
@@ -83,82 +107,122 @@ impl Timer {
         let mut labeling = Labeling::from_mapping(graph, pcube, initial, cfg.seed);
         let dim = labeling.dim;
         let p_mask = labeling.p_mask();
-        let e_mask = if cfg.use_diversity {
-            labeling.ext_mask()
-        } else {
-            0
-        };
+        let full_e_mask = labeling.ext_mask();
+        let e_mask = if cfg.use_diversity { full_e_mask } else { 0 };
 
-        let initial_coco = coco(graph, &labeling);
-        let initial_coco_plus = coco_plus(graph, &labeling);
+        // One edge scan seeds everything: the reported initial values and the
+        // accept gate, which from here on is updated purely from per-round
+        // deltas (no full-graph objective recomputes in the round loop).
+        let (initial_coco, initial_div) =
+            coco_and_div_for_labels(graph, &labeling.labels, p_mask, full_e_mask);
+        let initial_coco_plus = initial_coco as i64 - initial_div as i64;
         let original_set = labeling.sorted_label_set();
+        let mut gate = AcceptGate::new(
+            initial_coco,
+            if cfg.use_diversity { initial_div } else { 0 },
+        );
 
+        // Line 6 for all rounds up front: the permutation stream depends only
+        // on the seed, never on the batching schedule, so every
+        // (threads, batch) setting sees identical hierarchies.
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x51ed_270b));
-        let mut accepted = 0usize;
+        let perms: Vec<Vec<usize>> = (0..cfg.num_hierarchies)
+            .map(|_| {
+                let mut perm: Vec<usize> = (0..dim).collect();
+                perm.shuffle(&mut rng);
+                perm
+            })
+            .collect();
+
         let mut total_swaps = 0usize;
         let mut total_repaired = 0usize;
+        let threads = cfg.threads.max(1);
+        let max_batch = cfg.effective_batch();
 
-        // Accepted objective values, carried across rounds so each round only
-        // evaluates the *candidate* labeling. With diversity off (e_mask = 0)
-        // the objective IS plain Coco, so the Coco gate reuses that value
-        // instead of scanning the edges a second time.
-        let mut cur_objective = objective_for_labels(graph, &labeling.labels, p_mask, e_mask);
-        let mut cur_coco = if e_mask == 0 {
-            cur_objective
-        } else {
-            objective_for_labels(graph, &labeling.labels, p_mask, 0)
-        };
+        // Adaptive speculation depth, branch-predictor style: rounds are
+        // accept-heavy early (every acceptance throws speculated successors
+        // away) and reject-heavy late (speculation always pays off). Start
+        // cautious, double the depth after every batch whose speculations all
+        // survived, reset to 1 whenever speculated rounds had to be
+        // discarded. The depth only schedules work — the committed trajectory
+        // stays byte-identical for every (threads, batch) setting.
+        let mut depth = 1usize;
 
-        for _round in 0..cfg.num_hierarchies {
-            let old_labels = labeling.labels.clone();
-
-            // Line 6: random permutation of the label digits.
-            let mut perm: Vec<usize> = (0..dim).collect();
-            perm.shuffle(&mut rng);
-            let inv = invert_permutation(&perm);
-
-            // Line 7: permute labels (and the masks along with them).
-            let permuted: Vec<u64> = old_labels
-                .iter()
-                .map(|&l| permute_label_bits(l, &perm, dim))
-                .collect();
-            let p_mask_perm = permute_label_bits(p_mask, &perm, dim);
-            let e_mask_perm = permute_label_bits(e_mask, &perm, dim);
-
-            // Lines 9-14: swap sweeps interleaved with contractions.
-            let run = build_hierarchy(graph, permuted, dim, p_mask_perm, e_mask_perm, cfg.threads);
-            total_swaps += run.total_swaps;
-
-            // Line 15: assemble a new fine-level labeling from the hierarchy.
-            let assembled = assemble_labels(&run, dim);
-            total_repaired += assembled.repaired;
-
-            // Line 16: undo the digit permutation.
-            let new_labels: Vec<u64> = assembled
-                .labels
-                .iter()
-                .map(|&l| permute_label_bits(l, &inv, dim))
-                .collect();
-
-            // Lines 17-19: keep the new labeling only if it does not worsen
-            // the objective (the coarse-level gains are only estimates). Div
-            // only steers the search, so a round must also not worsen the
-            // true communication cost: without this second gate, rounds that
-            // grow Div faster than Coco are accepted and plain Coco drifts
-            // upward as NH grows.
-            let new_objective = objective_for_labels(graph, &new_labels, p_mask, e_mask);
-            let new_coco = if e_mask == 0 {
-                new_objective
+        let mut next = 0usize;
+        while next < perms.len() {
+            let b = depth.min(max_batch).min(perms.len() - next);
+            let outcomes: Vec<RoundOutcome> = if threads == 1 || b == 1 {
+                vec![run_round(
+                    graph,
+                    &labeling.labels,
+                    &perms[next],
+                    dim,
+                    p_mask,
+                    e_mask,
+                )]
             } else {
-                objective_for_labels(graph, &new_labels, p_mask, 0)
+                // Speculation: rounds next..next+b all start from the current
+                // accepted base. Workers get contiguous chunks; flattening in
+                // chunk order restores permutation order independently of the
+                // worker count — which is capped at the hardware parallelism
+                // (oversubscribed workers only fight over the cache; on a
+                // single-core box the batch runs on one spawned thread).
+                let base: &[u64] = &labeling.labels;
+                let workers = threads.min(b).min(hardware_threads()).max(1);
+                let chunk = b.div_ceil(workers);
+                thread::scope(|scope| {
+                    let handles: Vec<_> = perms[next..next + b]
+                        .chunks(chunk)
+                        .map(|chunk_perms| {
+                            scope.spawn(move |_| {
+                                chunk_perms
+                                    .iter()
+                                    .map(|perm| run_round(graph, base, perm, dim, p_mask, e_mask))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("hierarchy round worker panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope failed")
             };
-            if new_objective <= cur_objective && new_coco <= cur_coco {
-                labeling.set_labels(new_labels);
-                if new_objective < cur_objective {
-                    accepted += 1;
+
+            // Commit survivors in permutation order against the live gate. A
+            // kept round that changes the labels invalidates the remaining
+            // speculations: they are dropped without touching any counter and
+            // re-run from the new base, which keeps the whole trajectory
+            // byte-identical to the sequential driver.
+            let mut committed = 0usize;
+            let mut invalidated = false;
+            for outcome in outcomes {
+                total_swaps += outcome.swaps;
+                total_repaired += outcome.repaired;
+                committed += 1;
+                if gate.offer(outcome.coco_delta, outcome.div_delta) {
+                    invalidated = outcome.labels != labeling.labels;
+                    labeling.set_labels(outcome.labels);
+                    if invalidated {
+                        break;
+                    }
                 }
-                cur_objective = new_objective;
-                cur_coco = new_coco;
+            }
+            next += committed;
+            // Reset only when speculations were actually discarded (an
+            // acceptance in the batch's last slot wastes nothing).
+            depth = if invalidated && committed < b {
+                1
+            } else {
+                (depth * 2).min(max_batch.max(1))
+            };
+
+            #[cfg(debug_assertions)]
+            {
+                let (c, d) = coco_and_div_for_labels(graph, &labeling.labels, p_mask, e_mask);
+                debug_assert_eq!(gate.coco(), c as i64, "incremental Coco drifted");
+                debug_assert_eq!(gate.div(), d as i64, "incremental Div drifted");
             }
         }
 
@@ -168,21 +232,94 @@ impl Timer {
             "TIMER must never change the label set (balance preservation)"
         );
 
-        let final_coco = coco(graph, &labeling);
-        let final_coco_plus = coco_plus(graph, &labeling);
-        let final_diversity = diversity(graph, &labeling);
+        let (final_coco, final_div) =
+            coco_and_div_for_labels(graph, &labeling.labels, p_mask, full_e_mask);
+        debug_assert_eq!(gate.coco(), final_coco as i64);
         TimerResult {
             mapping: labeling.to_mapping(),
             labeling,
             initial_coco,
             final_coco,
             initial_coco_plus,
-            final_coco_plus,
-            final_diversity,
-            hierarchies_accepted: accepted,
+            final_coco_plus: final_coco as i64 - final_div as i64,
+            final_diversity: final_div,
+            hierarchies_accepted: gate.kept(),
             total_swaps,
             total_repaired,
         }
+    }
+}
+
+/// Usable hardware parallelism (respects CPU affinity/cgroup limits).
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Result of one executed hierarchy round, ready for the accept gate.
+struct RoundOutcome {
+    /// Candidate fine-level labels (digit permutation already undone).
+    labels: Vec<u64>,
+    /// Exact `Coco` change of the candidate vs the base it was built from.
+    coco_delta: i64,
+    /// Exact `Div` change of the candidate vs the base it was built from.
+    div_delta: i64,
+    /// Swaps performed by the round's sweeps.
+    swaps: usize,
+    /// Vertices whose assembled label needed the bijection repair.
+    repaired: usize,
+}
+
+/// Executes one full hierarchy round (Algorithm 1 lines 6–16) from `base`:
+/// permute digits, build and sweep the hierarchy, assemble, un-permute, and
+/// price the candidate against the base via an incidence-limited delta scan.
+/// Pure function of `(base, perm)` — the speculation correctness hinges on
+/// that.
+fn run_round(
+    graph: &Graph,
+    base: &[u64],
+    perm: &[usize],
+    dim: usize,
+    p_mask: u64,
+    e_mask: u64,
+) -> RoundOutcome {
+    let inv = invert_permutation(perm);
+
+    // Line 7: permute labels (and the masks along with them).
+    let permuted: Vec<u64> = base
+        .iter()
+        .map(|&l| permute_label_bits(l, perm, dim))
+        .collect();
+    let p_mask_perm = permute_label_bits(p_mask, perm, dim);
+    let e_mask_perm = permute_label_bits(e_mask, perm, dim);
+
+    // Lines 9-14: swap sweeps interleaved with contractions. Always built
+    // with the sequential sweep: parallelism lives one level up (whole
+    // rounds), which is what keeps the result thread-count-invariant.
+    let run = build_hierarchy(graph, permuted, dim, p_mask_perm, e_mask_perm, 1);
+
+    // Line 15: assemble a new fine-level labeling from the hierarchy.
+    let assembled = assemble_labels(&run, dim);
+
+    // Line 16: undo the digit permutation.
+    let labels: Vec<u64> = assembled
+        .labels
+        .iter()
+        .map(|&l| permute_label_bits(l, &inv, dim))
+        .collect();
+
+    // Lines 17-19 pricing: Div only steers the search, so a round must also
+    // not worsen the true communication cost — without the separate Coco
+    // delta, rounds that grow Div faster than Coco would be accepted and
+    // plain Coco would drift upward as NH grows.
+    let (coco_delta, div_delta) = coco_div_delta(graph, base, &labels, p_mask, e_mask);
+    RoundOutcome {
+        labels,
+        coco_delta,
+        div_delta,
+        swaps: run.total_swaps,
+        repaired: assembled.repaired,
     }
 }
 
@@ -307,7 +444,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sweep_variant_produces_valid_result() {
+    fn batched_variant_produces_valid_result() {
         let (ga, topo, pcube, mapping) = fixture(6);
         let result = enhance_mapping(
             &ga,
@@ -325,6 +462,64 @@ mod tests {
         before.sort_unstable();
         after.sort_unstable();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn batched_enhance_is_byte_identical_across_threads_and_batches() {
+        // Threads and batch are pure scheduling knobs: every combination must
+        // reproduce the sequential trajectory bit for bit, counters included.
+        let (ga, _, pcube, mapping) = fixture(8);
+        let sequential = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(12, 4));
+        for (threads, batch) in [(2, 0), (4, 0), (4, 2), (3, 5), (8, 8), (1, 4)] {
+            let r = enhance_mapping(
+                &ga,
+                &pcube,
+                &mapping,
+                TimerConfig::new(12, 4)
+                    .with_threads(threads)
+                    .with_batch(batch),
+            );
+            assert_eq!(
+                r.labeling.labels, sequential.labeling.labels,
+                "threads={threads} batch={batch}"
+            );
+            assert_eq!(r.mapping, sequential.mapping);
+            assert_eq!(r.final_coco, sequential.final_coco);
+            assert_eq!(r.final_coco_plus, sequential.final_coco_plus);
+            assert_eq!(r.final_diversity, sequential.final_diversity);
+            assert_eq!(r.hierarchies_accepted, sequential.hierarchies_accepted);
+            assert_eq!(r.total_swaps, sequential.total_swaps);
+            assert_eq!(r.total_repaired, sequential.total_repaired);
+        }
+    }
+
+    #[test]
+    fn equal_objective_rounds_count_as_accepted() {
+        // Regression for the accept-gate bookkeeping: on an edgeless
+        // application graph every candidate labeling has objective 0, so
+        // every round ties with the incumbent, is kept (its labels replace
+        // the labeling), and must therefore be counted — the old counter
+        // only saw strict improvements and reported 0.
+        let topo = Topology::grid2d(2, 2);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let ga = Graph::from_edges(8, &[]);
+        let mapping = Mapping::new(vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(6, 1));
+        assert_eq!(result.final_coco, 0);
+        assert_eq!(
+            result.hierarchies_accepted, 6,
+            "every equal-objective round replaces the labeling and must be counted"
+        );
+        // The tie-only instance also exercises the speculation fast path
+        // (kept rounds with unchanged labels must not invalidate the batch).
+        let batched = enhance_mapping(
+            &ga,
+            &pcube,
+            &mapping,
+            TimerConfig::new(6, 1).with_threads(4),
+        );
+        assert_eq!(batched.hierarchies_accepted, 6);
+        assert_eq!(batched.labeling.labels, result.labeling.labels);
     }
 
     #[test]

@@ -41,35 +41,78 @@ pub struct HierarchyRun {
     pub total_swaps: usize,
 }
 
+/// Reusable buffers for the prefix-bucket pair search of
+/// [`collect_swap_pairs`]. One hierarchy performs `dim − 1` sweeps; sharing
+/// one scratch across all of them (and across candidate-pair collection in
+/// the contraction) avoids reallocating the buckets on every level.
+#[derive(Clone, Debug, Default)]
+pub struct SweepScratch {
+    /// `(label >> 1, vertex)` pairs, sorted to group prefix buckets.
+    keyed: Vec<(u64, NodeId)>,
+    /// The collected candidate pairs, in prefix order.
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Collects the candidate swap pairs of a level into `scratch.pairs`: for
+/// every label prefix (`label >> 1`) shared by at least two vertices, the two
+/// lowest-indexed such vertices, emitted in ascending prefix order. The
+/// result is independent of whatever a previous collection left in the
+/// scratch.
+pub fn collect_swap_pairs(labels: &[u64], scratch: &mut SweepScratch) {
+    scratch.keyed.clear();
+    scratch.keyed.extend(
+        labels
+            .iter()
+            .enumerate()
+            .map(|(v, &l)| (l >> 1, v as NodeId)),
+    );
+    scratch.keyed.sort_unstable();
+    scratch.pairs.clear();
+    let mut i = 0;
+    while i < scratch.keyed.len() {
+        let key = scratch.keyed[i].0;
+        let mut j = i + 1;
+        while j < scratch.keyed.len() && scratch.keyed[j].0 == key {
+            j += 1;
+        }
+        if j - i >= 2 {
+            scratch
+                .pairs
+                .push((scratch.keyed[i].1, scratch.keyed[i + 1].1));
+        }
+        i = j;
+    }
+}
+
 /// Returns the candidate swap pairs of a level: all pairs of vertices whose
 /// labels agree on everything but the least significant digit, in
-/// deterministic (label) order.
+/// deterministic (label) order. Allocating convenience wrapper around
+/// [`collect_swap_pairs`].
 pub fn swap_pairs(labels: &[u64]) -> Vec<(NodeId, NodeId)> {
-    let mut by_prefix: HashMap<u64, (NodeId, Option<NodeId>)> = HashMap::new();
-    for (v, &l) in labels.iter().enumerate() {
-        let key = l >> 1;
-        by_prefix
-            .entry(key)
-            .and_modify(|e| {
-                if e.1.is_none() {
-                    e.1 = Some(v as NodeId);
-                }
-            })
-            .or_insert((v as NodeId, None));
-    }
-    let mut pairs: Vec<(u64, NodeId, NodeId)> = by_prefix
-        .into_iter()
-        .filter_map(|(key, (a, b))| b.map(|b| (key, a, b)))
-        .collect();
-    pairs.sort_unstable_by_key(|&(key, _, _)| key);
-    pairs.into_iter().map(|(_, a, b)| (a, b)).collect()
+    let mut scratch = SweepScratch::default();
+    collect_swap_pairs(labels, &mut scratch);
+    scratch.pairs
 }
 
 /// Sequential swap sweep: for every candidate pair, swap the labels if that
 /// strictly decreases the objective. Returns the number of swaps performed.
 pub fn sweep(graph: &Graph, labels: &mut [u64], p_mask: u64, e_mask: u64) -> usize {
+    let mut scratch = SweepScratch::default();
+    sweep_with(graph, labels, p_mask, e_mask, &mut scratch)
+}
+
+/// [`sweep`] with caller-provided scratch buffers, for reuse across the
+/// levels of a hierarchy.
+pub fn sweep_with(
+    graph: &Graph,
+    labels: &mut [u64],
+    p_mask: u64,
+    e_mask: u64,
+    scratch: &mut SweepScratch,
+) -> usize {
+    collect_swap_pairs(labels, scratch);
     let mut swaps = 0usize;
-    for (u, v) in swap_pairs(labels) {
+    for &(u, v) in &scratch.pairs {
         if swap_delta(graph, labels, p_mask, e_mask, u, v) < 0 {
             labels.swap(u as usize, v as usize);
             swaps += 1;
@@ -109,6 +152,11 @@ pub fn contract_level(graph: &Graph, labels: &[u64]) -> (Graph, Vec<u64>, Vec<No
     for (c, &w) in coarse_weights.iter().enumerate() {
         builder.set_vertex_weight(c as NodeId, w);
     }
+    // Distinct fine edges between the same coarse pair are coalesced by the
+    // builder (`GraphBuilder::add_edge` accumulates weights per normalized
+    // pair), so the coarse graph carries no parallel edges and every coarse
+    // weight is the sum of the fine weights it stands for — see the
+    // `contraction_coalesces_parallel_coarse_edges` test below.
     for (u, v, w) in graph.edges() {
         let (cu, cv) = (fine_to_coarse[u as usize], fine_to_coarse[v as usize]);
         if cu != cv {
@@ -136,6 +184,7 @@ pub fn build_hierarchy(
     let mut total_swaps = 0usize;
     let mut current_graph = graph.clone();
     let mut current_labels = labels;
+    let mut scratch = SweepScratch::default();
 
     // Paper: for i = 2 .. dim_Ga - 1; sweep on G^{i-1}, contract into G^i.
     let rounds = dim.saturating_sub(2);
@@ -144,7 +193,7 @@ pub fn build_hierarchy(
         total_swaps += if round == 0 && threads > 1 {
             parallel_sweep(&current_graph, &mut current_labels, pm, em, threads)
         } else {
-            sweep(&current_graph, &mut current_labels, pm, em)
+            sweep_with(&current_graph, &mut current_labels, pm, em, &mut scratch)
         };
         let (coarse_graph, coarse_labels, fine_to_coarse) =
             contract_level(&current_graph, &current_labels);
@@ -226,6 +275,60 @@ mod tests {
         assert_eq!(cg.total_vertex_weight(), g.total_vertex_weight());
         // Cycle of 8 contracted along consecutive pairs is a cycle of 4.
         assert_eq!(cg.num_edges(), 4);
+    }
+
+    #[test]
+    fn contraction_coalesces_parallel_coarse_edges() {
+        // Vertices 0,1 share prefix 0 and 2,3 share prefix 1, so contraction
+        // yields two coarse vertices. Three distinct fine edges cross between
+        // the pairs; they must merge into ONE coarse edge of summed weight.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2, 2);
+        b.add_edge(0, 3, 3);
+        b.add_edge(1, 2, 5);
+        b.add_edge(0, 1, 7); // intra-pair edge: vanishes in the coarse graph
+        let g = b.build();
+        let labels = vec![0b00u64, 0b01, 0b10, 0b11];
+        let (cg, cl, f2c) = contract_level(&g, &labels);
+        assert_eq!(cg.num_vertices(), 2);
+        assert_eq!(
+            cg.num_edges(),
+            1,
+            "fine edges between the same coarse pair must be coalesced"
+        );
+        assert_eq!(cg.edge_weight(0, 1), Some(2 + 3 + 5));
+        assert_eq!(cl, vec![0, 1]);
+        assert_eq!(f2c, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_and_matches_allocating_path() {
+        let labels_a: Vec<u64> = vec![0b000, 0b001, 0b010, 0b100, 0b101, 0b111];
+        let labels_b: Vec<u64> = (0..32u64).rev().collect();
+        let mut scratch = SweepScratch::default();
+        collect_swap_pairs(&labels_a, &mut scratch);
+        let fresh_a = scratch.pairs.clone();
+        assert_eq!(fresh_a, swap_pairs(&labels_a));
+        // Dirty the scratch with a larger instance, then redo the first one:
+        // the result must not depend on leftover scratch contents.
+        collect_swap_pairs(&labels_b, &mut scratch);
+        assert_eq!(scratch.pairs, swap_pairs(&labels_b));
+        collect_swap_pairs(&labels_a, &mut scratch);
+        assert_eq!(scratch.pairs, fresh_a);
+    }
+
+    #[test]
+    fn sweep_with_scratch_matches_sweep() {
+        let g = generators::randomize_edge_weights(&generators::barabasi_albert(96, 3, 5), 4, 5);
+        let labels: Vec<u64> = (0..96u64).collect();
+        let (p_mask, e_mask) = (0b111_0000, 0b000_1111);
+        let mut plain = labels.clone();
+        let plain_swaps = sweep(&g, &mut plain, p_mask, e_mask);
+        let mut scratched = labels.clone();
+        let mut scratch = SweepScratch::default();
+        let scratched_swaps = sweep_with(&g, &mut scratched, p_mask, e_mask, &mut scratch);
+        assert_eq!(plain_swaps, scratched_swaps);
+        assert_eq!(plain, scratched);
     }
 
     #[test]

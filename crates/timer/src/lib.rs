@@ -31,7 +31,7 @@ pub mod refinement;
 
 pub use driver::{enhance_mapping, Timer, TimerResult};
 pub use labeling::Labeling;
-pub use objective::{coco, coco_plus, diversity};
+pub use objective::{coco, coco_plus, diversity, AcceptGate};
 pub use refinement::{polish, PolishStats};
 
 /// Configuration of the TIMER search.
@@ -45,9 +45,17 @@ pub struct TimerConfig {
     /// If false, the diversity term `Div` is dropped and plain `Coco` is
     /// optimized (ablation of the Section 5 extension).
     pub use_diversity: bool,
-    /// Number of worker threads for the level-1 swap sweeps (1 = sequential,
-    /// the paper's setting; >1 exercises the outlook of Section 6.3).
+    /// Number of worker threads for the speculative hierarchy batches
+    /// (1 = fully sequential, the paper's setting; >1 runs whole hierarchy
+    /// rounds concurrently, the Section 6.3 outlook). The result is
+    /// byte-identical for every thread count.
     pub threads: usize,
+    /// Cap on the adaptive speculation depth (hierarchy rounds in flight per
+    /// batch); 0 (the default) matches `threads`. Purely a scheduling knob —
+    /// results never depend on it — and values above `threads` only add
+    /// wasted work when a round is accepted, so the default is almost always
+    /// right.
+    pub batch: usize,
 }
 
 impl Default for TimerConfig {
@@ -57,6 +65,7 @@ impl Default for TimerConfig {
             seed: 0,
             use_diversity: true,
             threads: 1,
+            batch: 0,
         }
     }
 }
@@ -78,9 +87,28 @@ impl TimerConfig {
         self
     }
 
-    /// Enables the thread-parallel level-1 sweep.
+    /// Sets the number of worker threads for speculative hierarchy batches.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Caps the number of hierarchy rounds speculated per batch
+    /// (0 = match `threads`).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The speculation-depth cap the driver actually uses: `batch` with the
+    /// `0` sentinel resolved to `threads`. The single source of truth for
+    /// that resolution — harness and reporting code must use this instead of
+    /// re-deriving it.
+    pub fn effective_batch(&self) -> usize {
+        if self.batch == 0 {
+            self.threads.max(1)
+        } else {
+            self.batch
+        }
     }
 }

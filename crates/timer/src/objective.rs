@@ -69,6 +69,124 @@ pub fn objective_for_labels(graph: &Graph, labels: &[u64], p_mask: u64, e_mask: 
         .sum()
 }
 
+/// Plain `Coco` and `Div` of raw labels in one edge scan. The driver seeds
+/// its [`AcceptGate`] from this instead of scanning the edges once per term.
+pub fn coco_and_div_for_labels(
+    graph: &Graph,
+    labels: &[u64],
+    p_mask: u64,
+    e_mask: u64,
+) -> (u64, u64) {
+    let mut coco = 0u64;
+    let mut div = 0u64;
+    for (u, v, w) in graph.edges() {
+        let x = labels[u as usize] ^ labels[v as usize];
+        coco += w * (x & p_mask).count_ones() as u64;
+        div += w * (x & e_mask).count_ones() as u64;
+    }
+    (coco, div)
+}
+
+/// Exact change of `(Coco, Div)` between two labelings of the same graph,
+/// scanning only the edges incident to relabelled vertices. A hierarchy round
+/// typically relabels a fraction of the vertices, so this replaces the two
+/// full edge scans the accept gate used to pay per round.
+pub fn coco_div_delta(
+    graph: &Graph,
+    old: &[u64],
+    new: &[u64],
+    p_mask: u64,
+    e_mask: u64,
+) -> (i64, i64) {
+    debug_assert_eq!(old.len(), new.len());
+    let changed: Vec<bool> = old.iter().zip(new).map(|(a, b)| a != b).collect();
+    let mut coco = 0i64;
+    let mut div = 0i64;
+    for (u, &u_changed) in changed.iter().enumerate() {
+        if !u_changed {
+            continue;
+        }
+        for (w, wt) in graph.edges_of(u as NodeId) {
+            let wi = w as usize;
+            // Edges between two relabelled endpoints are counted once, from
+            // the lower-indexed side.
+            if changed[wi] && wi < u {
+                continue;
+            }
+            let xo = old[u] ^ old[wi];
+            let xn = new[u] ^ new[wi];
+            coco +=
+                wt as i64 * ((xn & p_mask).count_ones() as i64 - (xo & p_mask).count_ones() as i64);
+            div +=
+                wt as i64 * ((xn & e_mask).count_ones() as i64 - (xo & e_mask).count_ones() as i64);
+        }
+    }
+    (coco, div)
+}
+
+/// The driver's accept gate (Algorithm 1, lines 17–19, plus the Coco guard):
+/// a candidate labeling is **kept** iff it worsens neither the search
+/// objective `Coco − Div` nor plain `Coco`. A candidate with two zero deltas
+/// (an equal-objective round) is kept too — it replaces the labeling — so
+/// [`AcceptGate::kept`], not "strictly improved", is what
+/// `TimerResult::hierarchies_accepted` reports.
+///
+/// The gate carries the accepted `Coco`/`Div` values across rounds and folds
+/// in the per-round deltas of [`coco_div_delta`], so accepting a round costs
+/// O(1) instead of a full-graph objective recompute.
+#[derive(Clone, Debug)]
+pub struct AcceptGate {
+    coco: i64,
+    div: i64,
+    kept: usize,
+}
+
+impl AcceptGate {
+    /// Gate seeded with the objective values of the initial labeling.
+    pub fn new(coco: u64, div: u64) -> Self {
+        AcceptGate {
+            coco: coco as i64,
+            div: div as i64,
+            kept: 0,
+        }
+    }
+
+    /// Accepted plain `Coco`.
+    pub fn coco(&self) -> i64 {
+        self.coco
+    }
+
+    /// Accepted `Div`.
+    pub fn div(&self) -> i64 {
+        self.div
+    }
+
+    /// Accepted search objective `Coco − Div`.
+    pub fn objective(&self) -> i64 {
+        self.coco - self.div
+    }
+
+    /// Number of candidates kept so far (including equal-objective ones).
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Offers a candidate by its exact `(Coco, Div)` deltas against the
+    /// currently accepted labeling. Returns whether the candidate is kept;
+    /// if so the deltas are folded into the accepted values.
+    pub fn offer(&mut self, coco_delta: i64, div_delta: i64) -> bool {
+        let objective_delta = coco_delta - div_delta;
+        if objective_delta <= 0 && coco_delta <= 0 {
+            self.coco += coco_delta;
+            self.div += div_delta;
+            self.kept += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Change of the objective if the labels of `u` and `v` were swapped
 /// (negative = improvement). The edge `{u, v}` itself does not change.
 pub fn swap_delta(
@@ -171,6 +289,68 @@ mod tests {
                 expected
             );
         }
+    }
+
+    #[test]
+    fn coco_and_div_single_scan_agrees_with_separate_scans() {
+        let (ga, labeling, _, _) = setup();
+        let (c, d) = coco_and_div_for_labels(
+            &ga,
+            &labeling.labels,
+            labeling.p_mask(),
+            labeling.ext_mask(),
+        );
+        assert_eq!(c, coco(&ga, &labeling));
+        assert_eq!(d, diversity(&ga, &labeling));
+    }
+
+    #[test]
+    fn coco_div_delta_matches_full_recomputation() {
+        let (ga, labeling, _, _) = setup();
+        let (p_mask, e_mask) = (labeling.p_mask(), labeling.ext_mask());
+        let old = &labeling.labels;
+        let (c0, d0) = coco_and_div_for_labels(&ga, old, p_mask, e_mask);
+        // A wholesale relabeling touching a scattered set of vertices, the
+        // shape a hierarchy round produces: swap several disjoint pairs and
+        // rotate one triple (adjacent and non-adjacent vertices alike).
+        let mut new = old.clone();
+        for (u, v) in [(0usize, 1usize), (5, 17), (3, 200), (40, 41), (100, 7)] {
+            new.swap(u, v);
+        }
+        let tmp = new[60];
+        new[60] = new[61];
+        new[61] = new[62];
+        new[62] = tmp;
+        let (c1, d1) = coco_and_div_for_labels(&ga, &new, p_mask, e_mask);
+        assert_eq!(
+            coco_div_delta(&ga, old, &new, p_mask, e_mask),
+            (c1 as i64 - c0 as i64, d1 as i64 - d0 as i64)
+        );
+        // Identical labelings have zero delta.
+        assert_eq!(coco_div_delta(&ga, old, old, p_mask, e_mask), (0, 0));
+    }
+
+    #[test]
+    fn accept_gate_keeps_equal_objective_candidates_and_counts_them() {
+        let mut gate = AcceptGate::new(100, 10);
+        assert_eq!(gate.objective(), 90);
+        // Strict improvement: kept.
+        assert!(gate.offer(-5, 0));
+        assert_eq!((gate.coco(), gate.div(), gate.kept()), (95, 10, 1));
+        // Equal-objective candidate (both deltas zero): also kept — the
+        // labels are replaced — and therefore counted.
+        assert!(gate.offer(0, 0));
+        assert_eq!(gate.kept(), 2);
+        // Worse objective: rejected, values untouched.
+        assert!(!gate.offer(3, 0));
+        assert_eq!((gate.coco(), gate.kept()), (95, 2));
+        // Div growing faster than Coco shrinks the objective but would drag
+        // plain Coco upward: the Coco guard rejects it.
+        assert!(!gate.offer(2, 7));
+        assert_eq!((gate.coco(), gate.div(), gate.kept()), (95, 10, 2));
+        // Div-only improvement with flat Coco: kept.
+        assert!(gate.offer(0, 4));
+        assert_eq!((gate.coco(), gate.div(), gate.kept()), (95, 14, 3));
     }
 
     #[test]

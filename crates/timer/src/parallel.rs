@@ -13,9 +13,23 @@
 //!    pair was swapped first) and applies it only if it still improves the
 //!    objective.
 //!
-//! The result is deterministic and never worse than doing nothing; quality is
-//! the same as the sequential sweep up to ties, because phase 2 evaluates
-//! candidates in the same deterministic order the sequential sweep uses.
+//! The result is deterministic, independent of the thread count (the
+//! candidate list comes out in pair order regardless of how the chunks were
+//! split), and never worsens the objective or changes the label multiset.
+//! It is **not** guaranteed to commit the same swap set as the sequential
+//! sweep: a pair whose gain only materializes after an earlier swap is found
+//! by the sequential sweep (which scores against live labels) but missed
+//! here, because phase 1 scores against the frozen snapshot. Both sweeps
+//! improve comparably in practice — see the
+//! `parallel_and_sequential_both_improve_comparably` test below and the
+//! `parallel_sweep_invariants` proptest.
+//!
+//! The TIMER driver itself no longer calls this: it parallelizes across
+//! whole hierarchy rounds (see [`crate::driver`]), which keeps results
+//! byte-identical to the sequential trajectory. This sweep remains the
+//! in-round alternative for callers of [`crate::hierarchy::build_hierarchy`]
+//! that want intra-round parallelism and can tolerate a different (still
+//! monotone) swap set.
 
 use crossbeam::thread;
 

@@ -2,7 +2,8 @@
 //!
 //! * number of hierarchies NH (10 vs 50),
 //! * the diversity term of Coco⁺ (Section 5) on vs off,
-//! * sequential vs thread-parallel level-1 sweep (Section 6.3 outlook),
+//! * sequential vs speculative batched hierarchy rounds (Section 6.3
+//!   outlook; identical result, different wall-clock),
 //! * TIMER vs a plain pairwise-swap refinement on the communication graph
 //!   (network-cost-matrix baseline).
 //!
@@ -59,7 +60,7 @@ fn main() {
         TimerConfig::new(10, 1).without_diversity(),
     );
     run(
-        "TIMER, NH=10, 4 sweep threads",
+        "TIMER, NH=10, 4-way speculative batches",
         TimerConfig::new(10, 1).with_threads(4),
     );
 
