@@ -7,19 +7,25 @@
 //!
 //! Usage:
 //!   cargo run -p tie-bench --bin bench_timer --release -- \
-//!       [--out BENCH_timer.json] [--nh 40] [--quick]
+//!       [--out BENCH_timer.json] [--nh 40] [--quick] \
+//!       [--trace-out trace.jsonl] [--trace-level gate|phase|debug]
 //!
 //! `--quick` restricts to the tiny scale with a small NH (for CI smoke runs).
+//! `--trace-out` streams flight-recorder events (JSONL; `-` = human-readable
+//! stderr) from every run; independent of the gate telemetry that is always
+//! embedded in the JSON artifact.
 
 use std::time::Instant;
 
+use tie_bench::harness::make_trace_handle;
 use tie_bench::report::{format_bench_json, TimerBenchEntry};
 use tie_bench::workloads::{paper_networks, Scale};
 use tie_graph::generators::random_permutation;
 use tie_mapping::Mapping;
 use tie_partition::{partition, PartitionConfig};
-use tie_timer::{enhance_mapping, TimerConfig};
+use tie_timer::{enhance_mapping, RoundTelemetry, TimerConfig};
 use tie_topology::{recognize_partial_cube, Topology};
+use tie_trace::{TraceHandle, TraceLevel};
 
 const NETWORK: &str = "PGPgiantcompo";
 const SEED: u64 = 1;
@@ -51,6 +57,18 @@ fn main() {
         &[Scale::Tiny, Scale::Small, Scale::Medium]
     };
     let thread_counts = [1usize, 2, 4];
+    let trace = match flag_value("--trace-out") {
+        Some(path) => {
+            let level = flag_value("--trace-level")
+                .map(|v| TraceLevel::parse(v).expect("--trace-level needs off|gate|phase|debug"))
+                .unwrap_or(TraceLevel::Phase);
+            make_trace_handle(path, level)
+        }
+        None => TraceHandle::off(),
+    };
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let spec = paper_networks()
         .into_iter()
@@ -60,6 +78,7 @@ fn main() {
     let pcube = recognize_partial_cube(&topo.graph).expect("grids are partial cubes");
 
     let mut entries: Vec<TimerBenchEntry> = Vec::new();
+    let mut telemetry: Vec<(String, RoundTelemetry)> = Vec::new();
     for &scale in scales {
         let ga = spec.build(scale);
         let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), SEED));
@@ -75,8 +94,18 @@ fn main() {
             ga.num_edges()
         );
         let mut reference_coco: Option<u64> = None;
+        let mut reference_telemetry: Option<RoundTelemetry> = None;
         for &threads in &thread_counts {
-            let cfg = TimerConfig::new(nh, SEED).with_threads(threads);
+            let oversubscribed = threads > hardware_threads;
+            if oversubscribed {
+                eprintln!(
+                    "  warning: {threads} threads on {hardware_threads} hardware \
+                     thread(s) — wall-clock for this row measures contention"
+                );
+            }
+            let cfg = TimerConfig::new(nh, SEED)
+                .with_threads(threads)
+                .with_trace(trace.clone());
             let effective_batch = cfg.effective_batch();
             let start = Instant::now();
             let result = enhance_mapping(&ga, &pcube, &mapping, cfg);
@@ -92,6 +121,17 @@ fn main() {
                     "batched driver diverged from the sequential trajectory"
                 ),
             }
+            // Gate outcomes (accept/reject/tie counts and delta histograms)
+            // must be byte-identical across thread counts; only the phase
+            // wall-clock may differ. The embedded record is the threads = 1
+            // run's, so the phase breakdown reads as sequential time.
+            match &reference_telemetry {
+                None => reference_telemetry = Some(result.telemetry.clone()),
+                Some(reference) => assert!(
+                    reference.same_gate_trajectory(&result.telemetry),
+                    "gate telemetry diverged across thread counts"
+                ),
+            }
             entries.push(TimerBenchEntry {
                 scale: scale_name(scale).to_string(),
                 threads,
@@ -101,14 +141,22 @@ fn main() {
                 final_coco: result.final_coco,
                 accepted: result.hierarchies_accepted,
                 total_swaps: result.total_swaps,
+                threads_oversubscribed: oversubscribed,
             });
+        }
+        if let Some(t) = reference_telemetry {
+            telemetry.push((scale_name(scale).to_string(), t));
         }
     }
 
-    let hardware_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let json = format_bench_json(nh, NETWORK, &topo.name, hardware_threads, &entries);
+    let json = format_bench_json(
+        nh,
+        NETWORK,
+        &topo.name,
+        hardware_threads,
+        &entries,
+        &telemetry,
+    );
     std::fs::write(out_path, &json).expect("failed to write bench artifact");
     println!("wrote {out_path}");
     print!("{json}");

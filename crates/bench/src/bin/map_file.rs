@@ -8,7 +8,8 @@
 //!   cargo run -p tie-bench --bin map_file --release -- \
 //!       --graph app.metis --topology grid16x16 [--case c2|c3|c4|c1] \
 //!       [--nh 50] [--eps 0.03] [--seed 1] [--threads N] [--batch B] \
-//!       [--out mapping.txt]
+//!       [--out mapping.txt] [--trace-out trace.jsonl] \
+//!       [--trace-level gate|phase|debug]
 //!
 //! Supported topology names: gridAxB, gridAxBxC, torusAxB, torusAxBxC,
 //! hypercubeD, treeN, pathN.
@@ -16,12 +17,14 @@
 use std::fmt::Write as _;
 
 use tie_bench::experiment::{run_case, ExperimentCase, ExperimentConfig};
+use tie_bench::harness::make_trace_handle;
 use tie_graph::io;
 use tie_mapping::{identity_mapping, Mapping};
 use tie_metrics::evaluate;
 use tie_partition::{partition, PartitionConfig};
 use tie_timer::{enhance_mapping, TimerConfig};
 use tie_topology::{recognize_partial_cube, Topology};
+use tie_trace::{TraceHandle, TraceLevel};
 
 fn parse_topology(spec: &str) -> Topology {
     let lower = spec.to_lowercase();
@@ -82,6 +85,15 @@ fn main() {
         .map(|v| v.parse().unwrap())
         .unwrap_or(0);
     let out = flag_value(&args, "--out");
+    let trace = match flag_value(&args, "--trace-out") {
+        Some(path) => {
+            let level = flag_value(&args, "--trace-level")
+                .map(|v| TraceLevel::parse(v).expect("--trace-level needs off|gate|phase|debug"))
+                .unwrap_or(TraceLevel::Phase);
+            make_trace_handle(path, level)
+        }
+        None => TraceHandle::off(),
+    };
 
     // Load the application graph; without --graph a demo network is used so
     // the binary is runnable out of the box.
@@ -123,6 +135,7 @@ fn main() {
                 seed,
                 threads,
                 batch,
+                trace: trace.clone(),
             };
             let result = run_case(&ga, &topo, c, &config);
             eprintln!(
@@ -160,7 +173,8 @@ fn main() {
                 &initial,
                 TimerConfig::new(nh, seed)
                     .with_threads(threads)
-                    .with_batch(batch),
+                    .with_batch(batch)
+                    .with_trace(trace.clone()),
             );
             (initial, res.mapping)
         }
@@ -181,7 +195,8 @@ fn main() {
                 &initial,
                 TimerConfig::new(nh, seed)
                     .with_threads(threads)
-                    .with_batch(batch),
+                    .with_batch(batch)
+                    .with_trace(trace.clone()),
             );
             (initial, res.mapping)
         }

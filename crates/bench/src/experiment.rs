@@ -19,6 +19,7 @@ use tie_metrics::{evaluate, MappingQuality};
 use tie_partition::{partition, PartitionConfig};
 use tie_timer::{enhance_mapping, TimerConfig};
 use tie_topology::{recognize_partial_cube, Topology};
+use tie_trace::TraceHandle;
 
 /// The four experimental cases of Section 7.1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,6 +80,9 @@ pub struct ExperimentConfig {
     pub threads: usize,
     /// Hierarchy rounds speculated per batch (0 = match `threads`).
     pub batch: usize,
+    /// Flight-recorder handle passed through to TIMER (disabled by
+    /// default; recording never changes results).
+    pub trace: TraceHandle,
 }
 
 impl Default for ExperimentConfig {
@@ -89,6 +93,7 @@ impl Default for ExperimentConfig {
             seed: 1,
             threads: 1,
             batch: 0,
+            trace: TraceHandle::off(),
         }
     }
 }
@@ -182,6 +187,7 @@ pub fn run_case(
         use_diversity: true,
         threads: config.threads,
         batch: config.batch,
+        trace: config.trace.clone(),
     };
     let t2 = Instant::now();
     let result = enhance_mapping(ga, &pcube, &initial_mapping, timer_cfg);

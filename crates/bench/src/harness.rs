@@ -2,9 +2,11 @@
 //! (networks × topologies × repetitions) sweep for one experimental case and
 //! aggregate the results exactly the way Section 7.1 describes.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use tie_topology::Topology;
+use tie_trace::{JsonlSink, StderrSink, TraceHandle, TraceLevel};
 
 use crate::experiment::{run_case, ExperimentCase, ExperimentConfig};
 use crate::report::{QualityRow, TimingRow};
@@ -26,6 +28,9 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Hierarchy rounds speculated per batch (0 = match `threads`).
     pub batch: usize,
+    /// Flight-recorder handle (from `--trace-out`/`--trace-level`; disabled
+    /// by default).
+    pub trace: TraceHandle,
 }
 
 impl Default for SweepOptions {
@@ -37,6 +42,7 @@ impl Default for SweepOptions {
             epsilon: 0.03,
             threads: 1,
             batch: 0,
+            trace: TraceHandle::off(),
         }
     }
 }
@@ -81,6 +87,7 @@ pub fn run_sweep(
                     seed: spec.seed.wrapping_mul(31).wrapping_add(rep as u64),
                     threads: options.threads,
                     batch: options.batch,
+                    trace: options.trace.clone(),
                 };
                 let result = run_case(&ga, topo, case, &config);
                 coco_q.push(result.coco_quotient());
@@ -168,10 +175,17 @@ pub fn timing_rows(
 }
 
 /// Parses the flags shared by the binaries (`--scale`, `--reps`, `--nh`,
-/// `--threads`, `--batch`, `--full`). Unknown flags are ignored so binaries
-/// can add their own.
+/// `--threads`, `--batch`, `--full`, `--trace-out`, `--trace-level`).
+/// Unknown flags are ignored so binaries can add their own.
+///
+/// `--trace-out <path>` enables the flight recorder and writes JSONL events
+/// to `<path>` (`-` streams human-readable lines to stderr instead).
+/// `--trace-level <gate|phase|debug>` controls verbosity; it defaults to
+/// `phase` once `--trace-out` is given and is ignored otherwise.
 pub fn parse_options(args: &[String]) -> SweepOptions {
     let mut opts = SweepOptions::default();
+    let mut trace_out: Option<String> = None;
+    let mut trace_level: Option<TraceLevel> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -206,11 +220,37 @@ pub fn parse_options(args: &[String]) -> SweepOptions {
                 opts.num_hierarchies = 50;
                 opts.scale = Scale::Medium;
             }
+            "--trace-out" if i + 1 < args.len() => {
+                trace_out = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--trace-level" if i + 1 < args.len() => {
+                trace_level = Some(
+                    TraceLevel::parse(&args[i + 1])
+                        .expect("--trace-level needs off|gate|phase|debug"),
+                );
+                i += 1;
+            }
             _ => {}
         }
         i += 1;
     }
+    if let Some(path) = trace_out {
+        opts.trace = make_trace_handle(&path, trace_level.unwrap_or(TraceLevel::Phase));
+    }
     opts
+}
+
+/// Builds a [`TraceHandle`] for `--trace-out`: `-` streams human-readable
+/// events to stderr, any other value is a JSONL output path.
+pub fn make_trace_handle(path: &str, level: TraceLevel) -> TraceHandle {
+    if path == "-" {
+        TraceHandle::new(Arc::new(StderrSink), level)
+    } else {
+        let sink = JsonlSink::create(path)
+            .unwrap_or_else(|e| panic!("cannot open trace output {path:?}: {e}"));
+        TraceHandle::new(Arc::new(sink), level)
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +269,7 @@ mod tests {
             epsilon: 0.03,
             threads: 1,
             batch: 0,
+            trace: TraceHandle::off(),
         };
         let cells = run_sweep(networks, &topologies, ExperimentCase::C2Identity, &options);
         assert_eq!(cells.len(), networks.len() * topologies.len());

@@ -8,6 +8,9 @@
 
 use std::fmt::Write as _;
 
+use tie_timer::RoundTelemetry;
+use tie_trace::LogHistogram;
+
 use crate::stats::Summary;
 
 /// One row of a Figure-5-style quality report: relative Cut and Coco
@@ -153,18 +156,44 @@ pub struct TimerBenchEntry {
     pub accepted: usize,
     /// Label swaps performed across all sweeps.
     pub total_swaps: usize,
+    /// True when this row asked for more worker threads than the machine
+    /// has — its `wall_ms` measures contention, not speedup.
+    pub threads_oversubscribed: bool,
+}
+
+/// Formats a [`LogHistogram`] as a JSON array of its non-empty buckets,
+/// each `{"lo": .., "hi": .., "count": ..}` with inclusive bounds.
+fn format_histogram_json(hist: &LogHistogram) -> String {
+    let mut out = String::from("[");
+    for (i, b) in hist.buckets().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"lo\": {}, \"hi\": {}, \"count\": {}}}",
+            b.lo, b.hi, b.count
+        );
+    }
+    out.push(']');
+    out
 }
 
 /// Serializes the perf-trajectory measurements as the `BENCH_timer.json`
 /// artifact: machine-readable, diffable, one object per cell. No external
 /// JSON crate is available offline, so the (flat, numeric) structure is
 /// emitted by hand.
+///
+/// `telemetry` carries one accept-gate record per scale (gate outcomes are
+/// byte-identical across thread counts, so one record covers all rows of a
+/// scale; the phase breakdown comes from that scale's threads = 1 run).
 pub fn format_bench_json(
     nh: usize,
     network: &str,
     topology: &str,
     hardware_threads: usize,
     entries: &[TimerBenchEntry],
+    telemetry: &[(String, RoundTelemetry)],
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -181,7 +210,8 @@ pub fn format_bench_json(
         let _ = writeln!(
             out,
             "    {{\"scale\": \"{}\", \"threads\": {}, \"batch\": {}, \"wall_ms\": {:.3}, \
-             \"initial_coco\": {}, \"final_coco\": {}, \"accepted\": {}, \"total_swaps\": {}}}{}",
+             \"initial_coco\": {}, \"final_coco\": {}, \"accepted\": {}, \"total_swaps\": {}, \
+             \"threads_oversubscribed\": {}}}{}",
             e.scale,
             e.threads,
             e.batch,
@@ -190,8 +220,39 @@ pub fn format_bench_json(
             e.final_coco,
             e.accepted,
             e.total_swaps,
+            e.threads_oversubscribed,
             comma
         );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"telemetry\": [");
+    for (i, (scale, t)) in telemetry.iter().enumerate() {
+        let comma = if i + 1 < telemetry.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"scale\": \"{scale}\",");
+        let _ = writeln!(out, "      \"accepted\": {},", t.accepted);
+        let _ = writeln!(out, "      \"rejected\": {},", t.rejected);
+        let _ = writeln!(out, "      \"ties\": {},", t.ties);
+        let _ = writeln!(
+            out,
+            "      \"delta_coco_hist\": {},",
+            format_histogram_json(&t.delta_coco)
+        );
+        let _ = writeln!(
+            out,
+            "      \"delta_div_hist\": {},",
+            format_histogram_json(&t.delta_div)
+        );
+        let mut phases = String::from("{");
+        for (j, (phase, us)) in t.phases.iter().enumerate() {
+            if j > 0 {
+                phases.push_str(", ");
+            }
+            let _ = write!(phases, "\"{}\": {}", phase.name(), us);
+        }
+        phases.push('}');
+        let _ = writeln!(out, "      \"phases_us\": {phases}");
+        let _ = writeln!(out, "    }}{comma}");
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
@@ -280,6 +341,7 @@ mod tests {
                 final_coco: 80,
                 accepted: 3,
                 total_swaps: 42,
+                threads_oversubscribed: false,
             },
             TimerBenchEntry {
                 scale: "tiny".into(),
@@ -290,9 +352,18 @@ mod tests {
                 final_coco: 80,
                 accepted: 3,
                 total_swaps: 42,
+                threads_oversubscribed: true,
             },
         ];
-        let s = format_bench_json(10, "PGPgiantcompo", "grid8x8", 4, &entries);
+        let mut tel = RoundTelemetry::default();
+        tel.record_gate(-20, -5, true, false);
+        tel.record_gate(3, 3, true, true);
+        tel.record_gate(7, 0, false, false);
+        use tie_trace::Phase;
+        tel.phases.add(Phase::Sweep, 1234);
+        tel.phases.add(Phase::DeltaScan, 56);
+        let telemetry = vec![("tiny".to_string(), tel)];
+        let s = format_bench_json(10, "PGPgiantcompo", "grid8x8", 4, &entries, &telemetry);
         // Structural sanity without a JSON parser: balanced braces/brackets,
         // exactly one trailing-comma-free list, and the key fields present.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
@@ -304,7 +375,22 @@ mod tests {
         assert!(s.contains("\"wall_ms\": 12.346"));
         assert!(s.contains("\"threads\": 4"));
         assert!(s.contains("\"final_coco\": 80"));
-        assert_eq!(s.matches("\"scale\"").count(), 2);
+        assert!(s.contains("\"threads_oversubscribed\": false"));
+        assert!(s.contains("\"threads_oversubscribed\": true"));
+        // Telemetry block: gate counts, histograms with inclusive bounds,
+        // and the full fixed phase vocabulary.
+        assert!(s.contains("\"accepted\": 2,"));
+        assert!(s.contains("\"rejected\": 1,"));
+        assert!(s.contains("\"ties\": 1,"));
+        assert!(s.contains("\"delta_coco_hist\": ["));
+        assert!(s.contains("{\"lo\": -31, \"hi\": -16, \"count\": 1}"));
+        assert!(s.contains("\"delta_div_hist\": ["));
+        assert!(s.contains("\"phases_us\": {"));
+        assert!(s.contains("\"sweep\": 1234"));
+        assert!(s.contains("\"delta_scan\": 56"));
+        assert!(s.contains("\"hierarchy_build\": 0"));
+        // "scale" appears once per result row and once per telemetry record.
+        assert_eq!(s.matches("\"scale\"").count(), 3);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Characterization test for the medium-scale acceptance collapse.
+//!
+//! `BENCH_timer.json` shows that on the medium workload (PGPgiantcompo
+//! scaled ×16 ≈ 10k vertices, grid8x8, scrambled block-to-PE bijection)
+//! TIMER accepts **zero** of its hierarchy rounds: Coco stays frozen at the
+//! initial mapping's value. ROADMAP.md tracks fixing this as the top open
+//! item ("Fix the medium-scale acceptance collapse — quality is the
+//! product"). This test pins today's behaviour so the fix, when it lands,
+//! flips these assertions loudly instead of drifting in silently — at that
+//! point invert them (accepted > 0, final_coco < initial_coco) or delete
+//! the test.
+//!
+//! The setup mirrors `bench_timer`'s medium cell exactly (same network,
+//! seed, topology, and scramble), with a small NH: the collapse is already
+//! total at NH = 4, and a debug-mode full NH = 40 run would be too slow for
+//! tier-1.
+
+use tie_bench::workloads::{paper_networks, Scale};
+use tie_graph::generators::random_permutation;
+use tie_mapping::Mapping;
+use tie_partition::{partition, PartitionConfig};
+use tie_timer::{enhance_mapping, TimerConfig};
+use tie_topology::{recognize_partial_cube, Topology};
+
+#[test]
+fn medium_scale_accepts_no_rounds_and_leaves_coco_frozen() {
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "PGPgiantcompo")
+        .expect("catalogue network");
+    let ga = spec.build(Scale::Medium);
+    let topo = Topology::grid2d(8, 8);
+    let pcube = recognize_partial_cube(&topo.graph).expect("grids are partial cubes");
+    let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 1));
+    let scramble = random_permutation(topo.num_pes(), 1);
+    let mapping = Mapping::from_partition(&part, &scramble, topo.num_pes());
+
+    let nh = 4;
+    let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, 1));
+
+    // The committed BENCH_timer.json artifact records this exact value for
+    // the medium cell; the partition, scramble and labeling are all
+    // deterministic in the seed.
+    assert_eq!(
+        result.initial_coco, 71581,
+        "medium-cell setup drifted — regenerate BENCH_timer.json and update this pin"
+    );
+    // The anomaly itself: every round is rejected and the mapping never
+    // moves. A fixed TIMER would make `hierarchies_accepted > 0` and
+    // `final_coco < initial_coco` here.
+    assert_eq!(
+        result.hierarchies_accepted, 0,
+        "medium-scale collapse no longer reproduces — the ROADMAP item may be fixed; \
+         update this characterization test"
+    );
+    assert_eq!(
+        result.final_coco, result.initial_coco,
+        "Coco should be frozen"
+    );
+    // The gate telemetry tells the same story: NH offers, NH rejections.
+    assert_eq!(result.telemetry.rounds(), nh);
+    assert_eq!(result.telemetry.rejected, nh);
+    assert_eq!(result.telemetry.accepted, 0);
+    assert_eq!(result.telemetry.ties, 0);
+}

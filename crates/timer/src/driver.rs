@@ -23,6 +23,8 @@
 //! acceptance invalidated the batch, so the accept-heavy early rounds run
 //! (nearly) waste-free while the reject-heavy tail gets full parallelism.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -33,11 +35,13 @@ use tie_graph::Graph;
 use tie_mapping::Mapping;
 use tie_topology::label::{invert_permutation, permute_label_bits};
 use tie_topology::PartialCubeLabeling;
+use tie_trace::{Phase, PhaseTimes, TraceEvent, TraceHandle};
 
 use crate::assemble::assemble_labels;
-use crate::hierarchy::build_hierarchy;
+use crate::hierarchy::build_hierarchy_traced;
 use crate::labeling::Labeling;
 use crate::objective::{coco_and_div_for_labels, coco_div_delta, AcceptGate};
+use crate::telemetry::RoundTelemetry;
 use crate::TimerConfig;
 
 /// The TIMER mapping enhancer.
@@ -69,6 +73,12 @@ pub struct TimerResult {
     pub total_swaps: usize,
     /// Number of vertices whose assembled label needed the bijection repair.
     pub total_repaired: usize,
+    /// Flight-recorder summary of the run: accept/reject/tie counts, the
+    /// per-round `ΔCoco`/`ΔDiv` histograms and a per-phase wall-clock
+    /// breakdown. Always collected (the gate side rides the delta scan the
+    /// driver performs anyway); the gate side is byte-identical across
+    /// `(threads, batch)` settings, the phase side is wall-clock.
+    pub telemetry: RoundTelemetry,
 }
 
 impl TimerResult {
@@ -121,6 +131,15 @@ impl Timer {
             initial_coco,
             if cfg.use_diversity { initial_div } else { 0 },
         );
+        let trace = &cfg.trace;
+        let mut telemetry = RoundTelemetry::default();
+        trace.emit(TraceEvent::RunStart {
+            nh: cfg.num_hierarchies,
+            threads: cfg.threads.max(1),
+            batch: cfg.effective_batch(),
+            initial_coco,
+            initial_div: if cfg.use_diversity { initial_div } else { 0 },
+        });
 
         // Line 6 for all rounds up front: the permutation stream depends only
         // on the seed, never on the batching schedule, so every
@@ -159,6 +178,8 @@ impl Timer {
                     dim,
                     p_mask,
                     e_mask,
+                    next,
+                    trace,
                 )]
             } else {
                 // Speculation: rounds next..next+b all start from the current
@@ -173,11 +194,25 @@ impl Timer {
                 thread::scope(|scope| {
                     let handles: Vec<_> = perms[next..next + b]
                         .chunks(chunk)
-                        .map(|chunk_perms| {
+                        .enumerate()
+                        .map(|(chunk_idx, chunk_perms)| {
+                            let first_round = next + chunk_idx * chunk;
                             scope.spawn(move |_| {
                                 chunk_perms
                                     .iter()
-                                    .map(|perm| run_round(graph, base, perm, dim, p_mask, e_mask))
+                                    .enumerate()
+                                    .map(|(i, perm)| {
+                                        run_round(
+                                            graph,
+                                            base,
+                                            perm,
+                                            dim,
+                                            p_mask,
+                                            e_mask,
+                                            first_round + i,
+                                            trace,
+                                        )
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -190,24 +225,64 @@ impl Timer {
                 .expect("crossbeam scope failed")
             };
 
+            // Every executed round burned real wall-clock, including the
+            // speculations an acceptance is about to discard — the phase
+            // breakdown reports all of it. (Counters like `total_swaps` stay
+            // commit-only below: they are part of the deterministic
+            // trajectory, the phase times are honest work accounting.)
+            for outcome in &outcomes {
+                telemetry.phases.merge(&outcome.phases);
+            }
+
             // Commit survivors in permutation order against the live gate. A
             // kept round that changes the labels invalidates the remaining
             // speculations: they are dropped without touching any counter and
             // re-run from the new base, which keeps the whole trajectory
             // byte-identical to the sequential driver.
+            let commit_start = Instant::now();
             let mut committed = 0usize;
             let mut invalidated = false;
-            for outcome in outcomes {
+            for (i, outcome) in outcomes.into_iter().enumerate() {
                 total_swaps += outcome.swaps;
                 total_repaired += outcome.repaired;
                 committed += 1;
-                if gate.offer(outcome.coco_delta, outcome.div_delta) {
+                let accepted = gate.offer(outcome.coco_delta, outcome.div_delta);
+                // An equal-objective keep: `ΔCoco⁺ = ΔCoco − ΔDiv = 0`.
+                let tie = accepted && outcome.coco_delta == outcome.div_delta;
+                telemetry.record_gate(outcome.coco_delta, outcome.div_delta, accepted, tie);
+                trace.emit(TraceEvent::Gate {
+                    round: next + i,
+                    coco_delta: outcome.coco_delta,
+                    div_delta: outcome.div_delta,
+                    accepted,
+                    tie,
+                    coco: gate.coco(),
+                    div: gate.div(),
+                });
+                if accepted {
                     invalidated = outcome.labels != labeling.labels;
                     labeling.set_labels(outcome.labels);
                     if invalidated {
                         break;
                     }
                 }
+            }
+            let commit_us = commit_start.elapsed().as_micros() as u64;
+            telemetry.phases.add(Phase::Commit, commit_us);
+            trace.emit(TraceEvent::Phase {
+                phase: Phase::Commit,
+                round: None,
+                level: None,
+                elapsed_us: commit_us,
+            });
+            if b > 1 {
+                trace.emit(TraceEvent::Speculation {
+                    first_round: next,
+                    batch_len: b,
+                    committed,
+                    invalidated,
+                    depth,
+                });
             }
             next += committed;
             // Reset only when speculations were actually discarded (an
@@ -235,6 +310,13 @@ impl Timer {
         let (final_coco, final_div) =
             coco_and_div_for_labels(graph, &labeling.labels, p_mask, full_e_mask);
         debug_assert_eq!(gate.coco(), final_coco as i64);
+        trace.emit(TraceEvent::RunEnd {
+            final_coco,
+            final_div,
+            accepted: telemetry.accepted,
+            rejected: telemetry.rejected,
+            ties: telemetry.ties,
+        });
         TimerResult {
             mapping: labeling.to_mapping(),
             labeling,
@@ -246,6 +328,7 @@ impl Timer {
             hierarchies_accepted: gate.kept(),
             total_swaps,
             total_repaired,
+            telemetry,
         }
     }
 }
@@ -269,13 +352,16 @@ struct RoundOutcome {
     swaps: usize,
     /// Vertices whose assembled label needed the bijection repair.
     repaired: usize,
+    /// Wall-clock breakdown of this round's phases.
+    phases: PhaseTimes,
 }
 
 /// Executes one full hierarchy round (Algorithm 1 lines 6–16) from `base`:
 /// permute digits, build and sweep the hierarchy, assemble, un-permute, and
 /// price the candidate against the base via an incidence-limited delta scan.
 /// Pure function of `(base, perm)` — the speculation correctness hinges on
-/// that.
+/// that; `round`/`trace` only record what happened and never influence it.
+#[allow(clippy::too_many_arguments)] // private helper mirroring the algorithm
 fn run_round(
     graph: &Graph,
     base: &[u64],
@@ -283,10 +369,14 @@ fn run_round(
     dim: usize,
     p_mask: u64,
     e_mask: u64,
+    round: usize,
+    trace: &TraceHandle,
 ) -> RoundOutcome {
+    let mut phases = PhaseTimes::default();
     let inv = invert_permutation(perm);
 
     // Line 7: permute labels (and the masks along with them).
+    let build_start = Instant::now();
     let permuted: Vec<u64> = base
         .iter()
         .map(|&l| permute_label_bits(l, perm, dim))
@@ -297,29 +387,66 @@ fn run_round(
     // Lines 9-14: swap sweeps interleaved with contractions. Always built
     // with the sequential sweep: parallelism lives one level up (whole
     // rounds), which is what keeps the result thread-count-invariant.
-    let run = build_hierarchy(graph, permuted, dim, p_mask_perm, e_mask_perm, 1);
+    let run = build_hierarchy_traced(
+        graph,
+        permuted,
+        dim,
+        p_mask_perm,
+        e_mask_perm,
+        1,
+        Some(round),
+        trace,
+    );
+    // The hierarchy-build span contains the per-level sweep/contract spans.
+    let build_us = build_start.elapsed().as_micros() as u64;
+    phases.merge(&run.phases);
+    phases.add(Phase::HierarchyBuild, build_us);
+    trace.emit(TraceEvent::Phase {
+        phase: Phase::HierarchyBuild,
+        round: Some(round),
+        level: None,
+        elapsed_us: build_us,
+    });
 
-    // Line 15: assemble a new fine-level labeling from the hierarchy.
+    // Line 15: assemble a new fine-level labeling from the hierarchy, then
+    // (line 16) undo the digit permutation.
+    let assemble_start = Instant::now();
     let assembled = assemble_labels(&run, dim);
-
-    // Line 16: undo the digit permutation.
     let labels: Vec<u64> = assembled
         .labels
         .iter()
         .map(|&l| permute_label_bits(l, &inv, dim))
         .collect();
+    let assemble_us = assemble_start.elapsed().as_micros() as u64;
+    phases.add(Phase::Assemble, assemble_us);
+    trace.emit(TraceEvent::Phase {
+        phase: Phase::Assemble,
+        round: Some(round),
+        level: None,
+        elapsed_us: assemble_us,
+    });
 
     // Lines 17-19 pricing: Div only steers the search, so a round must also
     // not worsen the true communication cost — without the separate Coco
     // delta, rounds that grow Div faster than Coco would be accepted and
     // plain Coco would drift upward as NH grows.
+    let scan_start = Instant::now();
     let (coco_delta, div_delta) = coco_div_delta(graph, base, &labels, p_mask, e_mask);
+    let scan_us = scan_start.elapsed().as_micros() as u64;
+    phases.add(Phase::DeltaScan, scan_us);
+    trace.emit(TraceEvent::Phase {
+        phase: Phase::DeltaScan,
+        round: Some(round),
+        level: None,
+        elapsed_us: scan_us,
+    });
     RoundOutcome {
         labels,
         coco_delta,
         div_delta,
         swaps: run.total_swaps,
         repaired: assembled.repaired,
+        phases,
     }
 }
 
@@ -520,6 +647,61 @@ mod tests {
         );
         assert_eq!(batched.hierarchies_accepted, 6);
         assert_eq!(batched.labeling.labels, result.labeling.labels);
+    }
+
+    #[test]
+    fn tie_rounds_are_kept_and_reported_as_ties_in_telemetry() {
+        // Accept-gate tie semantics, observed through the flight recorder:
+        // on an edgeless application graph every candidate has zero deltas,
+        // so every round is an equal-objective tie — kept by the gate
+        // (`AcceptGate::offer` folds it in), flagged `tie` on its gate
+        // event, and counted in `RoundTelemetry::ties`.
+        use std::sync::Arc;
+        use tie_trace::{MemorySink, TraceLevel};
+
+        let topo = Topology::grid2d(2, 2);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let ga = Graph::from_edges(8, &[]);
+        let mapping = Mapping::new(vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        let nh = 6;
+        let sink = Arc::new(MemorySink::default());
+        let cfg =
+            TimerConfig::new(nh, 1).with_trace(TraceHandle::new(sink.clone(), TraceLevel::Gate));
+        let result = enhance_mapping(&ga, &pcube, &mapping, cfg);
+
+        assert_eq!(result.telemetry.accepted, nh);
+        assert_eq!(result.telemetry.rejected, 0);
+        assert_eq!(result.telemetry.ties, nh);
+        assert_eq!(result.telemetry.rounds(), nh);
+
+        // One gate event per round, in round order, every one a kept tie
+        // with both deltas zero and the objective values unchanged.
+        let gates: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Gate {
+                    round,
+                    coco_delta,
+                    div_delta,
+                    accepted,
+                    tie,
+                    coco,
+                    div,
+                } => Some((round, coco_delta, div_delta, accepted, tie, coco, div)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gates.len(), nh);
+        for (i, &(round, coco_delta, div_delta, accepted, tie, coco, div)) in
+            gates.iter().enumerate()
+        {
+            assert_eq!(round, i);
+            assert_eq!((coco_delta, div_delta), (0, 0));
+            assert!(accepted, "tie rounds are kept");
+            assert!(tie, "zero-delta rounds must be flagged as ties");
+            assert_eq!((coco, div), (0, 0));
+        }
     }
 
     #[test]

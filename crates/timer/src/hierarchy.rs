@@ -12,8 +12,10 @@
 //! TIMER search exploits.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use tie_graph::{Graph, GraphBuilder, NodeId};
+use tie_trace::{Phase, PhaseTimes, TraceEvent, TraceHandle, TraceLevel};
 
 use crate::objective::swap_delta;
 use crate::parallel::parallel_sweep;
@@ -39,6 +41,10 @@ pub struct HierarchyRun {
     pub levels: Vec<Level>,
     /// Number of label swaps performed across all sweeps.
     pub total_swaps: usize,
+    /// Wall-clock spent in the sweeps and contractions of this hierarchy
+    /// (accumulated per [`Phase`]; always collected, the cost is two
+    /// monotonic-clock reads per level).
+    pub phases: PhaseTimes,
 }
 
 /// Reusable buffers for the prefix-bucket pair search of
@@ -180,23 +186,75 @@ pub fn build_hierarchy(
     e_mask: u64,
     threads: usize,
 ) -> HierarchyRun {
+    build_hierarchy_traced(
+        graph,
+        labels,
+        dim,
+        p_mask,
+        e_mask,
+        threads,
+        None,
+        &TraceHandle::off(),
+    )
+}
+
+/// [`build_hierarchy`] with flight-recorder context: per-level sweep and
+/// contraction spans are emitted through `trace` (at `TraceLevel::Debug`)
+/// and tagged with `hierarchy_round` so concurrent speculated rounds stay
+/// distinguishable in the recording.
+#[allow(clippy::too_many_arguments)] // mirrors build_hierarchy + trace context
+pub fn build_hierarchy_traced(
+    graph: &Graph,
+    labels: Vec<u64>,
+    dim: usize,
+    p_mask: u64,
+    e_mask: u64,
+    threads: usize,
+    hierarchy_round: Option<usize>,
+    trace: &TraceHandle,
+) -> HierarchyRun {
     let mut levels: Vec<Level> = Vec::new();
     let mut total_swaps = 0usize;
     let mut current_graph = graph.clone();
     let mut current_labels = labels;
     let mut scratch = SweepScratch::default();
+    let mut phases = PhaseTimes::default();
+    // Cheap enough to collect always; only *emission* is gated on the level.
+    let per_level = trace.enabled(TraceLevel::Debug);
 
     // Paper: for i = 2 .. dim_Ga - 1; sweep on G^{i-1}, contract into G^i.
     let rounds = dim.saturating_sub(2);
     for round in 0..rounds {
         let (pm, em) = (p_mask >> round, e_mask >> round);
+        let t = Instant::now();
         total_swaps += if round == 0 && threads > 1 {
             parallel_sweep(&current_graph, &mut current_labels, pm, em, threads)
         } else {
             sweep_with(&current_graph, &mut current_labels, pm, em, &mut scratch)
         };
+        let sweep_us = t.elapsed().as_micros() as u64;
+        phases.add(Phase::Sweep, sweep_us);
+        if per_level {
+            trace.emit(TraceEvent::Phase {
+                phase: Phase::Sweep,
+                round: hierarchy_round,
+                level: Some(round),
+                elapsed_us: sweep_us,
+            });
+        }
+        let t = Instant::now();
         let (coarse_graph, coarse_labels, fine_to_coarse) =
             contract_level(&current_graph, &current_labels);
+        let contract_us = t.elapsed().as_micros() as u64;
+        phases.add(Phase::Contract, contract_us);
+        if per_level {
+            trace.emit(TraceEvent::Phase {
+                phase: Phase::Contract,
+                round: hierarchy_round,
+                level: Some(round),
+                elapsed_us: contract_us,
+            });
+        }
         levels.push(Level {
             graph: current_graph,
             labels: current_labels,
@@ -214,6 +272,7 @@ pub fn build_hierarchy(
     HierarchyRun {
         levels,
         total_swaps,
+        phases,
     }
 }
 

@@ -28,11 +28,15 @@ pub mod labeling;
 pub mod objective;
 pub mod parallel;
 pub mod refinement;
+pub mod telemetry;
 
 pub use driver::{enhance_mapping, Timer, TimerResult};
 pub use labeling::Labeling;
 pub use objective::{coco, coco_plus, diversity, AcceptGate};
 pub use refinement::{polish, PolishStats};
+pub use telemetry::RoundTelemetry;
+
+use tie_trace::TraceHandle;
 
 /// Configuration of the TIMER search.
 #[derive(Clone, Debug)]
@@ -56,6 +60,11 @@ pub struct TimerConfig {
     /// wasted work when a round is accepted, so the default is almost always
     /// right.
     pub batch: usize,
+    /// Flight-recorder handle (see `tie-trace`). Disabled by default, in
+    /// which case every instrumentation point is a single branch and
+    /// `Timer::enhance` behaves byte-identically to the uninstrumented
+    /// driver. Tracing never influences the search — it only records it.
+    pub trace: TraceHandle,
 }
 
 impl Default for TimerConfig {
@@ -66,6 +75,7 @@ impl Default for TimerConfig {
             use_diversity: true,
             threads: 1,
             batch: 0,
+            trace: TraceHandle::off(),
         }
     }
 }
@@ -97,6 +107,13 @@ impl TimerConfig {
     /// (0 = match `threads`).
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Attaches a flight-recorder handle; the driver emits accept-gate,
+    /// phase-timing and speculation events through it.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
         self
     }
 

@@ -146,6 +146,53 @@ proptest! {
         prop_assert_eq!(batched.total_swaps, sequential.total_swaps);
     }
 
+    /// The incidence-limited delta scan is exact: for any random weighted
+    /// graph, arbitrary labeling (duplicates allowed) and random partial
+    /// relabeling, `coco_div_delta` agrees bit-for-bit with two full-graph
+    /// `coco_and_div_for_labels` recomputes — including edges whose both
+    /// endpoints were relabelled, which the scan must count exactly once.
+    /// The accept-gate telemetry rides this scan, so its histograms are only
+    /// as trustworthy as this equivalence.
+    #[test]
+    fn coco_div_delta_agrees_with_full_recompute(
+        n in 20..200usize,
+        seed in 0..500u64,
+        ext in 0..4u32,
+        change_rate in 1..64u64,
+    ) {
+        let g = generators::randomize_edge_weights(
+            &generators::barabasi_albert(n, 3, seed),
+            5,
+            seed,
+        );
+        // Labels and the changed subset from a seeded LCG: the delta must be
+        // exact for any labeling, not just valid mapping encodings.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let dim = 8u32;
+        let label_mask = (1u64 << dim) - 1;
+        let e_mask = (1u64 << ext) - 1; // ext = 0 → no extension digits
+        let p_mask = label_mask & !e_mask;
+        let old: Vec<u64> = (0..n).map(|_| next() & label_mask).collect();
+        let mut new = old.clone();
+        for label in new.iter_mut() {
+            if next() % 64 < change_rate {
+                *label = next() & label_mask;
+            }
+        }
+        let (c0, d0) = tie_timer::objective::coco_and_div_for_labels(&g, &old, p_mask, e_mask);
+        let (c1, d1) = tie_timer::objective::coco_and_div_for_labels(&g, &new, p_mask, e_mask);
+        prop_assert_eq!(
+            tie_timer::objective::coco_div_delta(&g, &old, &new, p_mask, e_mask),
+            (c1 as i64 - c0 as i64, d1 as i64 - d0 as i64)
+        );
+    }
+
     /// The polish pass (refinement extension) preserves the label set and
     /// never worsens the objective, for any instance and sweep count.
     #[test]
