@@ -38,7 +38,7 @@ fn nh_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for nh in [1usize, 5, 10, 25] {
         group.bench_with_input(BenchmarkId::from_parameter(nh), &nh, |b, &nh| {
-            b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, 3)));
+            b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, 3)).unwrap());
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn objective_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("timer_objective_ablation");
     group.sample_size(10);
     group.bench_function("coco_plus", |b| {
-        b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 1)));
+        b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 1)).unwrap());
     });
     group.bench_function("coco_only", |b| {
         b.iter(|| {
@@ -60,6 +60,7 @@ fn objective_ablation(c: &mut Criterion) {
                 &mapping,
                 TimerConfig::new(5, 1).without_diversity(),
             )
+            .unwrap()
         });
     });
     group.finish();
@@ -80,6 +81,7 @@ fn speculative_batches(c: &mut Criterion) {
                     &mapping,
                     TimerConfig::new(10, 2).with_threads(t),
                 )
+                .unwrap()
             });
         });
     }
@@ -100,7 +102,7 @@ fn per_topology(c: &mut Criterion) {
         let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 1));
         let mapping = identity_mapping(&part, topo.num_pes());
         group.bench_function(&topo.name, |b| {
-            b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 1)));
+            b.iter(|| enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 1)).unwrap());
         });
     }
     group.finish();

@@ -15,11 +15,13 @@
 //! stderr) from every run; independent of the gate telemetry that is always
 //! embedded in the JSON artifact.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use tie_bench::harness::make_trace_handle;
 use tie_bench::report::{format_bench_json, TimerBenchEntry};
 use tie_bench::workloads::{paper_networks, Scale};
+use tie_fault::FaultHandle;
 use tie_graph::generators::random_permutation;
 use tie_mapping::Mapping;
 use tie_partition::{partition, PartitionConfig};
@@ -30,6 +32,10 @@ use tie_trace::{TraceHandle, TraceLevel};
 const NETWORK: &str = "PGPgiantcompo";
 const SEED: u64 = 1;
 
+const USAGE: &str = "usage: bench_timer [--out PATH] [--nh N] [--quick] \
+     [--trace-out PATH|-] [--trace-level off|gate|phase|debug]  \
+     (env: TIE_FAULTS=<fault spec> arms fault injection)";
+
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
         Scale::Tiny => "tiny",
@@ -38,7 +44,18 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_timer: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag_value = |flag: &str| -> Option<&str> {
         args.iter()
@@ -48,9 +65,18 @@ fn main() {
     };
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = flag_value("--out").unwrap_or("BENCH_timer.json");
-    let nh: usize = flag_value("--nh")
-        .map(|v| v.parse().expect("--nh needs a number"))
-        .unwrap_or(if quick { 6 } else { 40 });
+    let nh: usize = match flag_value("--nh") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--nh needs a number, got {v:?}"))?,
+        None => {
+            if quick {
+                6
+            } else {
+                40
+            }
+        }
+    };
     let scales: &[Scale] = if quick {
         &[Scale::Tiny]
     } else {
@@ -59,13 +85,17 @@ fn main() {
     let thread_counts = [1usize, 2, 4];
     let trace = match flag_value("--trace-out") {
         Some(path) => {
-            let level = flag_value("--trace-level")
-                .map(|v| TraceLevel::parse(v).expect("--trace-level needs off|gate|phase|debug"))
-                .unwrap_or(TraceLevel::Phase);
-            make_trace_handle(path, level)
+            let level = match flag_value("--trace-level") {
+                Some(v) => TraceLevel::parse(v).ok_or_else(|| {
+                    format!("--trace-level needs off|gate|phase|debug, got {v:?}")
+                })?,
+                None => TraceLevel::Phase,
+            };
+            make_trace_handle(path, level)?
         }
         None => TraceHandle::off(),
     };
+    let faults = FaultHandle::from_env().map_err(|e| format!("invalid TIE_FAULTS: {e}"))?;
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -73,9 +103,10 @@ fn main() {
     let spec = paper_networks()
         .into_iter()
         .find(|s| s.name == NETWORK)
-        .expect("catalogue network");
+        .ok_or_else(|| format!("network {NETWORK:?} missing from the catalogue"))?;
     let topo = Topology::grid2d(8, 8);
-    let pcube = recognize_partial_cube(&topo.graph).expect("grids are partial cubes");
+    let pcube = recognize_partial_cube(&topo.graph)
+        .map_err(|e| format!("grid8x8 failed partial-cube recognition: {e}"))?;
 
     let mut entries: Vec<TimerBenchEntry> = Vec::new();
     let mut telemetry: Vec<(String, RoundTelemetry)> = Vec::new();
@@ -105,14 +136,26 @@ fn main() {
             }
             let cfg = TimerConfig::new(nh, SEED)
                 .with_threads(threads)
-                .with_trace(trace.clone());
+                .with_trace(trace.clone())
+                .with_faults(faults.clone());
             let effective_batch = cfg.effective_batch();
             let start = Instant::now();
-            let result = enhance_mapping(&ga, &pcube, &mapping, cfg);
+            let result = enhance_mapping(&ga, &pcube, &mapping, cfg)
+                .map_err(|e| format!("enhance failed at scale {}: {e}", scale_name(scale)))?;
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             eprintln!(
-                "  threads {threads}: {wall_ms:.1} ms, Coco {} -> {} ({} kept rounds)",
-                result.initial_coco, result.final_coco, result.hierarchies_accepted
+                "  threads {threads}: {wall_ms:.1} ms, Coco {} -> {} ({} kept rounds{})",
+                result.initial_coco,
+                result.final_coco,
+                result.hierarchies_accepted,
+                if result.telemetry.worker_panics > 0 {
+                    format!(
+                        ", {} worker panic(s) absorbed",
+                        result.telemetry.worker_panics
+                    )
+                } else {
+                    String::new()
+                }
             );
             match reference_coco {
                 None => reference_coco = Some(result.final_coco),
@@ -157,7 +200,9 @@ fn main() {
         &entries,
         &telemetry,
     );
-    std::fs::write(out_path, &json).expect("failed to write bench artifact");
+    std::fs::write(out_path, &json)
+        .map_err(|e| format!("cannot write bench artifact {out_path:?}: {e}"))?;
     println!("wrote {out_path}");
     print!("{json}");
+    Ok(())
 }

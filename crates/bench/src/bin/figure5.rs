@@ -10,30 +10,48 @@
 //!
 //! Without `--case`, all four cases are run (Figures 5a, 5b, 5c and 5d).
 
+use std::process::ExitCode;
+
 use tie_bench::experiment::ExperimentCase;
-use tie_bench::harness::{quality_rows, run_sweep};
+use tie_bench::harness::{quality_rows, run_sweep, USAGE};
 use tie_bench::report::format_quality_table;
 use tie_bench::{paper_networks, parse_options, quick_networks};
 use tie_topology::Topology;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = parse_options(&args);
+    let options = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("figure5: {e}");
+            eprintln!("{USAGE} [--case c1|c2|c3|c4]");
+            return ExitCode::from(2);
+        }
+    };
     let full_networks = args.iter().any(|a| a == "--full" || a == "--all-networks");
     let paper_topos = args
         .iter()
         .any(|a| a == "--full" || a == "--paper-topologies");
-    let selected_case = args
+    let selected_case = match args
         .iter()
         .position(|a| a == "--case")
         .and_then(|i| args.get(i + 1))
         .map(|c| match c.as_str() {
-            "c1" => ExperimentCase::C1Drb,
-            "c2" => ExperimentCase::C2Identity,
-            "c3" => ExperimentCase::C3GreedyAllC,
-            "c4" => ExperimentCase::C4GreedyMin,
-            other => panic!("unknown case {other:?} (use c1|c2|c3|c4)"),
-        });
+            "c1" => Ok(ExperimentCase::C1Drb),
+            "c2" => Ok(ExperimentCase::C2Identity),
+            "c3" => Ok(ExperimentCase::C3GreedyAllC),
+            "c4" => Ok(ExperimentCase::C4GreedyMin),
+            other => Err(format!("unknown case {other:?} (use c1|c2|c3|c4)")),
+        })
+        .transpose()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("figure5: {e}");
+            eprintln!("{USAGE} [--case c1|c2|c3|c4]");
+            return ExitCode::from(2);
+        }
+    };
 
     let networks = if full_networks {
         paper_networks()
@@ -68,6 +86,16 @@ fn main() {
     for case in cases {
         eprintln!("running case {} ...", case.name());
         let cells = run_sweep(&networks, &topologies, case, &options);
+        for cell in &cells {
+            for err in &cell.errors {
+                eprintln!(
+                    "warning: {} on {} / {}: {err}",
+                    case.id(),
+                    cell.network,
+                    cell.topology
+                );
+            }
+        }
         let rows = quality_rows(&cells, &topologies);
         println!(
             "--- Figure {} — initial mapping: {} ---",
@@ -76,4 +104,5 @@ fn main() {
         );
         println!("{}", format_quality_table(case.id(), &rows));
     }
+    ExitCode::SUCCESS
 }

@@ -8,16 +8,24 @@
 //!   cargo run -p tie-bench --bin map_file --release -- \
 //!       --graph app.metis --topology grid16x16 [--case c2|c3|c4|c1] \
 //!       [--nh 50] [--eps 0.03] [--seed 1] [--threads N] [--batch B] \
-//!       [--out mapping.txt] [--trace-out trace.jsonl] \
+//!       [--deadline-ms N] [--out mapping.txt] [--trace-out trace.jsonl] \
 //!       [--trace-level gate|phase|debug]
 //!
 //! Supported topology names: gridAxB, gridAxBxC, torusAxB, torusAxBxC,
 //! hypercubeD, treeN, pathN.
+//!
+//! Every malformed flag or unreadable input is reported as a one-line error
+//! plus this usage summary (exit code 2) — the binary never panics on bad
+//! input.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::time::Duration;
 
 use tie_bench::experiment::{run_case, ExperimentCase, ExperimentConfig};
 use tie_bench::harness::make_trace_handle;
+use tie_fault::FaultHandle;
 use tie_graph::io;
 use tie_mapping::{identity_mapping, Mapping};
 use tie_metrics::evaluate;
@@ -26,35 +34,49 @@ use tie_timer::{enhance_mapping, TimerConfig};
 use tie_topology::{recognize_partial_cube, Topology};
 use tie_trace::{TraceHandle, TraceLevel};
 
-fn parse_topology(spec: &str) -> Topology {
+const USAGE: &str = "usage: map_file --graph FILE --topology NAME \
+     [--case c1|c2|c3|c4] [--nh N] [--eps F] [--seed N] [--threads N] \
+     [--batch N] [--deadline-ms N] [--out PATH] [--trace-out PATH|-] \
+     [--trace-level off|gate|phase|debug]";
+
+fn parse_topology(spec: &str) -> Result<Topology, String> {
     let lower = spec.to_lowercase();
     let dims = |s: &str| -> Vec<usize> { s.split('x').filter_map(|t| t.parse().ok()).collect() };
     if let Some(rest) = lower.strip_prefix("grid") {
         let d = dims(rest);
         return match d.len() {
-            2 => Topology::grid2d(d[0], d[1]),
-            3 => Topology::grid3d(d[0], d[1], d[2]),
-            _ => panic!("grid topology needs 2 or 3 extents, got {spec:?}"),
+            2 => Ok(Topology::grid2d(d[0], d[1])),
+            3 => Ok(Topology::grid3d(d[0], d[1], d[2])),
+            _ => Err(format!("grid topology needs 2 or 3 extents, got {spec:?}")),
         };
     }
     if let Some(rest) = lower.strip_prefix("torus") {
         let d = dims(rest);
         return match d.len() {
-            2 => Topology::torus2d(d[0], d[1]),
-            3 => Topology::torus3d(d[0], d[1], d[2]),
-            _ => panic!("torus topology needs 2 or 3 extents, got {spec:?}"),
+            2 => Ok(Topology::torus2d(d[0], d[1])),
+            3 => Ok(Topology::torus3d(d[0], d[1], d[2])),
+            _ => Err(format!("torus topology needs 2 or 3 extents, got {spec:?}")),
         };
     }
     if let Some(rest) = lower.strip_prefix("hypercube") {
-        return Topology::hypercube(rest.parse().expect("hypercube needs a dimension"));
+        let d = rest
+            .parse()
+            .map_err(|_| format!("hypercube needs a dimension, got {rest:?}"))?;
+        return Ok(Topology::hypercube(d));
     }
     if let Some(rest) = lower.strip_prefix("tree") {
-        return Topology::binary_tree(rest.parse().expect("tree needs a vertex count"));
+        let n = rest
+            .parse()
+            .map_err(|_| format!("tree needs a vertex count, got {rest:?}"))?;
+        return Ok(Topology::binary_tree(n));
     }
     if let Some(rest) = lower.strip_prefix("path") {
-        return Topology::path(rest.parse().expect("path needs a vertex count"));
+        let n = rest
+            .parse()
+            .map_err(|_| format!("path needs a vertex count, got {rest:?}"))?;
+        return Ok(Topology::path(n));
     }
-    panic!("unknown topology {spec:?}");
+    Err(format!("unknown topology {spec:?}"))
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -64,45 +86,54 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let graph_path = flag_value(&args, "--graph");
-    let topology_spec = flag_value(&args, "--topology").unwrap_or("grid8x8");
-    let nh: usize = flag_value(&args, "--nh")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(50);
-    let eps: f64 = flag_value(&args, "--eps")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(0.03);
-    let seed: u64 = flag_value(&args, "--seed")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(1);
-    let case = flag_value(&args, "--case").unwrap_or("c2");
-    let threads: usize = flag_value(&args, "--threads")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(1);
-    let batch: usize = flag_value(&args, "--batch")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(0);
-    let out = flag_value(&args, "--out");
-    let trace = match flag_value(&args, "--trace-out") {
+fn parsed_flag<T: FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} needs a valid value, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let graph_path = flag_value(args, "--graph");
+    let topology_spec = flag_value(args, "--topology").unwrap_or("grid8x8");
+    let nh: usize = parsed_flag(args, "--nh", 50)?;
+    let eps: f64 = parsed_flag(args, "--eps", 0.03)?;
+    let seed: u64 = parsed_flag(args, "--seed", 1)?;
+    let case = flag_value(args, "--case").unwrap_or("c2");
+    let threads: usize = parsed_flag(args, "--threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    let batch: usize = parsed_flag(args, "--batch", 0)?;
+    let deadline_ms: u64 = parsed_flag(args, "--deadline-ms", 0)?;
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let out = flag_value(args, "--out");
+    let trace = match flag_value(args, "--trace-out") {
         Some(path) => {
-            let level = flag_value(&args, "--trace-level")
-                .map(|v| TraceLevel::parse(v).expect("--trace-level needs off|gate|phase|debug"))
-                .unwrap_or(TraceLevel::Phase);
-            make_trace_handle(path, level)
+            let level = match flag_value(args, "--trace-level") {
+                Some(v) => TraceLevel::parse(v).ok_or_else(|| {
+                    format!("--trace-level needs off|gate|phase|debug, got {v:?}")
+                })?,
+                None => TraceLevel::Phase,
+            };
+            make_trace_handle(path, level)?
         }
         None => TraceHandle::off(),
     };
+    let faults = FaultHandle::from_env().map_err(|e| format!("invalid TIE_FAULTS: {e}"))?;
 
     // Load the application graph; without --graph a demo network is used so
     // the binary is runnable out of the box.
     let ga = match graph_path {
         Some(path) => {
             if path.ends_with(".metis") || path.ends_with(".graph") {
-                io::read_metis(path).expect("failed to read METIS graph")
+                io::read_metis(path)
+                    .map_err(|e| format!("cannot read METIS graph {path:?}: {e}"))?
             } else {
-                io::read_edge_list(path).expect("failed to read edge list")
+                io::read_edge_list(path)
+                    .map_err(|e| format!("cannot read edge list {path:?}: {e}"))?
             }
         }
         None => {
@@ -110,7 +141,7 @@ fn main() {
             tie_graph::generators::barabasi_albert(4096, 4, seed)
         }
     };
-    let topo = parse_topology(topology_spec);
+    let topo = parse_topology(topology_spec)?;
     eprintln!(
         "application graph: {} vertices, {} edges; topology: {} ({} PEs)",
         ga.num_vertices(),
@@ -124,9 +155,20 @@ fn main() {
         "c2" => None, // handled inline below (identity), keeps timing simple
         "c3" => Some(ExperimentCase::C3GreedyAllC),
         "c4" => Some(ExperimentCase::C4GreedyMin),
-        other => panic!("unknown case {other:?}"),
+        other => return Err(format!("unknown case {other:?} (use c1|c2|c3|c4)")),
     };
 
+    let timer_cfg = || {
+        let mut cfg = TimerConfig::new(nh, seed)
+            .with_threads(threads)
+            .with_batch(batch)
+            .with_trace(trace.clone())
+            .with_faults(faults.clone());
+        if let Some(d) = deadline {
+            cfg = cfg.with_deadline(d);
+        }
+        cfg
+    };
     let (initial, enhanced): (Mapping, Mapping) = match experiment_case {
         Some(c) => {
             let config = ExperimentConfig {
@@ -136,14 +178,17 @@ fn main() {
                 threads,
                 batch,
                 trace: trace.clone(),
+                deadline,
+                faults: faults.clone(),
             };
-            let result = run_case(&ga, &topo, c, &config);
+            let result = run_case(&ga, &topo, c, &config).map_err(|e| e.to_string())?;
             eprintln!(
-                "case {}: Coco {} -> {} ({} accepted hierarchies)",
+                "case {}: Coco {} -> {} ({} accepted hierarchies, stop: {})",
                 c.id(),
                 result.initial.coco,
                 result.enhanced.coco,
-                result.hierarchies_accepted
+                result.hierarchies_accepted,
+                result.stop_reason
             );
             // Re-run the pipeline pieces to obtain the mappings themselves.
             let part = partition(
@@ -165,17 +210,10 @@ fn main() {
                 }
                 ExperimentCase::C2Identity => identity_mapping(&part, topo.num_pes()),
             };
-            let pcube =
-                recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
-            let res = enhance_mapping(
-                &ga,
-                &pcube,
-                &initial,
-                TimerConfig::new(nh, seed)
-                    .with_threads(threads)
-                    .with_batch(batch)
-                    .with_trace(trace.clone()),
-            );
+            let pcube = recognize_partial_cube(&topo.graph)
+                .map_err(|e| format!("topology {} is not a partial cube: {e}", topo.name))?;
+            let res =
+                enhance_mapping(&ga, &pcube, &initial, timer_cfg()).map_err(|e| e.to_string())?;
             (initial, res.mapping)
         }
         None => {
@@ -187,17 +225,10 @@ fn main() {
                 },
             );
             let initial = identity_mapping(&part, topo.num_pes());
-            let pcube =
-                recognize_partial_cube(&topo.graph).expect("topology must be a partial cube");
-            let res = enhance_mapping(
-                &ga,
-                &pcube,
-                &initial,
-                TimerConfig::new(nh, seed)
-                    .with_threads(threads)
-                    .with_batch(batch)
-                    .with_trace(trace.clone()),
-            );
+            let pcube = recognize_partial_cube(&topo.graph)
+                .map_err(|e| format!("topology {} is not a partial cube: {e}", topo.name))?;
+            let res =
+                enhance_mapping(&ga, &pcube, &initial, timer_cfg()).map_err(|e| e.to_string())?;
             (initial, res.mapping)
         }
     };
@@ -224,7 +255,20 @@ fn main() {
         for v in 0..enhanced.num_tasks() {
             let _ = writeln!(content, "{}", enhanced.pe_of(v as u32));
         }
-        std::fs::write(path, content).expect("failed to write mapping file");
+        std::fs::write(path, content).map_err(|e| format!("cannot write {path:?}: {e}"))?;
         eprintln!("wrote vertex-to-PE assignment to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("map_file: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
     }
 }

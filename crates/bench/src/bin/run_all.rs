@@ -2,22 +2,53 @@
 //! Figures 5a–5d and Table 2. This is the binary EXPERIMENTS.md is generated
 //! from.
 //!
-//! Usage: `cargo run -p tie-bench --bin run_all --release -- [--scale tiny|small|medium] [--reps N] [--nh N] [--threads N] [--batch B]`
+//! Usage: `cargo run -p tie-bench --bin run_all --release -- [--scale tiny|small|medium] [--reps N] [--nh N] [--threads N] [--batch B] [--deadline-ms N] [--out PATH]`
+//!
+//! A repetition that fails (fault injection, malformed input, worker panic)
+//! does not abort the run: the sweep keeps going, the failure is reported on
+//! stderr, and `--out PATH` writes a JSON record with per-row errors.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use tie_bench::experiment::ExperimentCase;
-use tie_bench::harness::{quality_rows, run_sweep, timing_rows};
+use tie_bench::harness::{quality_rows, run_sweep, timing_rows, USAGE};
 use tie_bench::report::{
-    format_inventory, format_partition_times, format_quality_table, format_timing_table,
+    format_inventory, format_partition_times, format_quality_table, format_sweep_json,
+    format_timing_table,
 };
 use tie_bench::{parse_options, quick_networks};
 use tie_partition::{partition, PartitionConfig};
 use tie_topology::Topology;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = parse_options(&args);
+    let options = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            eprintln!("{USAGE} [--out PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    // `--out` is run_all-specific; parse_options ignores flags it does not
+    // know so binaries can add their own.
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            match args.get(i + 1) {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("run_all: --out needs a path");
+                    eprintln!("{USAGE} [--out PATH]");
+                    return ExitCode::from(2);
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+    }
     let networks = quick_networks();
     let topologies = Topology::small_topologies();
 
@@ -72,11 +103,22 @@ fn main() {
     }
     println!("{}", format_partition_times(&part_rows, ("k=64", "k=128")));
 
-    // Figures 5a-5d and Table 2.
+    // Figures 5a-5d and Table 2. Failing repetitions are collected per cell
+    // and surfaced below instead of aborting the whole evaluation.
     let mut per_case = Vec::new();
     for case in ExperimentCase::all() {
         eprintln!("running case {} ...", case.name());
         let cells = run_sweep(&networks, &topologies, case, &options);
+        for cell in &cells {
+            for err in &cell.errors {
+                eprintln!(
+                    "warning: {} on {} / {}: {err}",
+                    case.id(),
+                    cell.network,
+                    cell.topology
+                );
+            }
+        }
         let rows = quality_rows(&cells, &topologies);
         println!("--- Figure 5 ({}) ---", case.name());
         println!("{}", format_quality_table(case.id(), &rows));
@@ -87,4 +129,22 @@ fn main() {
         "{}",
         format_timing_table(&timing_rows(&per_case, &topologies))
     );
+
+    let total_errors: usize = per_case
+        .iter()
+        .flat_map(|(_, cells)| cells.iter())
+        .map(|c| c.errors.len())
+        .sum();
+    if total_errors > 0 {
+        eprintln!("run_all: {total_errors} repetition(s) failed; see warnings above");
+    }
+    if let Some(path) = out_path {
+        let json = format_sweep_json(&per_case);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("run_all: cannot write {path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote sweep record to {path}");
+    }
+    ExitCode::SUCCESS
 }

@@ -2,12 +2,22 @@
 //!
 //! Usage: `cargo run -p tie-bench --bin table1 --release -- [--scale tiny|small|medium]`
 
+use std::process::ExitCode;
+
+use tie_bench::harness::USAGE;
 use tie_bench::report::format_inventory;
 use tie_bench::{paper_networks, parse_options};
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = parse_options(&args);
+    let options = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("table1: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     println!(
         "Table 1: complex networks used for benchmarking (synthetic stand-ins, scale {:?})\n",
         options.scale
@@ -25,4 +35,5 @@ fn main() {
         })
         .collect();
     print!("{}", format_inventory(&rows));
+    ExitCode::SUCCESS
 }

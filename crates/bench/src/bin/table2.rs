@@ -7,15 +7,24 @@
 //! binary finishes in minutes; pass `--paper-topologies` for the 256/512-PE
 //! machines of the paper and `--full` for the paper's NH/repetition counts.
 
+use std::process::ExitCode;
+
 use tie_bench::experiment::ExperimentCase;
-use tie_bench::harness::{run_sweep, timing_rows};
+use tie_bench::harness::{run_sweep, timing_rows, USAGE};
 use tie_bench::report::format_timing_table;
 use tie_bench::{paper_networks, parse_options, quick_networks};
 use tie_topology::Topology;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = parse_options(&args);
+    let options = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("table2: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let full_networks = args.iter().any(|a| a == "--full" || a == "--all-networks");
     let paper_topos = args
         .iter()
@@ -40,8 +49,19 @@ fn main() {
     for case in ExperimentCase::all() {
         eprintln!("running case {} ...", case.name());
         let cells = run_sweep(&networks, &topologies, case, &options);
+        for cell in &cells {
+            for err in &cell.errors {
+                eprintln!(
+                    "warning: {} on {} / {}: {err}",
+                    case.id(),
+                    cell.network,
+                    cell.topology
+                );
+            }
+        }
         per_case.push((case, cells));
     }
     let rows = timing_rows(&per_case, &topologies);
     print!("{}", format_timing_table(&rows));
+    ExitCode::SUCCESS
 }

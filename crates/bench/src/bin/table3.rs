@@ -3,15 +3,24 @@
 //!
 //! Usage: `cargo run -p tie-bench --bin table3 --release -- [--scale tiny|small|medium]`
 
+use std::process::ExitCode;
 use std::time::Instant;
 
+use tie_bench::harness::USAGE;
 use tie_bench::report::format_partition_times;
 use tie_bench::{paper_networks, parse_options};
 use tie_partition::{partition, PartitionConfig};
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = parse_options(&args);
+    let options = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("table3: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     println!(
         "Table 3: partitioner running times in seconds for k = 256 and k = 512 (scale {:?}, eps = {}).\n",
         options.scale, options.epsilon
@@ -34,4 +43,5 @@ fn main() {
         rows.push((spec.name.to_string(), times[0], times[1]));
     }
     print!("{}", format_partition_times(&rows, ("k=256", "k=512")));
+    ExitCode::SUCCESS
 }

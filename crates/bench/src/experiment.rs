@@ -13,11 +13,12 @@
 
 use std::time::{Duration, Instant};
 
+use tie_fault::FaultHandle;
 use tie_graph::Graph;
 use tie_mapping::{drb, greedy, identity_mapping, Mapping};
 use tie_metrics::{evaluate, MappingQuality};
 use tie_partition::{partition, PartitionConfig};
-use tie_timer::{enhance_mapping, TimerConfig};
+use tie_timer::{enhance_mapping, StopReason, TieError, TimerConfig};
 use tie_topology::{recognize_partial_cube, Topology};
 use tie_trace::TraceHandle;
 
@@ -83,6 +84,12 @@ pub struct ExperimentConfig {
     /// Flight-recorder handle passed through to TIMER (disabled by
     /// default; recording never changes results).
     pub trace: TraceHandle,
+    /// Optional wall-clock deadline for each TIMER run; expiry yields a
+    /// best-so-far result with `StopReason::DeadlineExceeded`.
+    pub deadline: Option<Duration>,
+    /// Fault-injection handle passed through to TIMER (disabled by default;
+    /// armed by the chaos suite and `TIE_FAULTS`-aware binaries).
+    pub faults: FaultHandle,
 }
 
 impl Default for ExperimentConfig {
@@ -94,6 +101,8 @@ impl Default for ExperimentConfig {
             threads: 1,
             batch: 0,
             trace: TraceHandle::off(),
+            deadline: None,
+            faults: FaultHandle::off(),
         }
     }
 }
@@ -113,6 +122,11 @@ pub struct CaseResult {
     pub timer_time: Duration,
     /// Number of hierarchy rounds TIMER accepted.
     pub hierarchies_accepted: usize,
+    /// Why the TIMER run stopped (`Completed` unless a deadline or the
+    /// adaptive stopping rule cut it short).
+    pub stop_reason: StopReason,
+    /// Speculative worker panics TIMER absorbed (0 on healthy runs).
+    pub worker_panics: usize,
 }
 
 impl CaseResult {
@@ -148,18 +162,20 @@ impl CaseResult {
 
 /// Runs one experimental case on one (network, topology) pair.
 ///
-/// # Panics
-/// Panics if the topology is not a partial cube (all paper topologies are).
+/// # Errors
+/// Returns `TieError::Recognition` if the topology is not a partial cube
+/// (all paper topologies are) and forwards any error from `Timer::enhance`
+/// — a sweep over many rows can record the failure and move on instead of
+/// aborting (see `run_sweep`).
 pub fn run_case(
     ga: &Graph,
     topology: &Topology,
     case: ExperimentCase,
     config: &ExperimentConfig,
-) -> CaseResult {
+) -> Result<CaseResult, TieError> {
     let gp = &topology.graph;
     let num_pes = gp.num_vertices();
-    let pcube = recognize_partial_cube(gp)
-        .unwrap_or_else(|e| panic!("{} is not a partial cube: {e}", topology.name));
+    let pcube = recognize_partial_cube(gp)?;
 
     // Step 1: topology-oblivious partition (KaHIP stand-in).
     let part_cfg = PartitionConfig {
@@ -188,9 +204,12 @@ pub fn run_case(
         threads: config.threads,
         batch: config.batch,
         trace: config.trace.clone(),
+        deadline: config.deadline,
+        faults: config.faults.clone(),
+        ..Default::default()
     };
     let t2 = Instant::now();
-    let result = enhance_mapping(ga, &pcube, &initial_mapping, timer_cfg);
+    let result = enhance_mapping(ga, &pcube, &initial_mapping, timer_cfg)?;
     let timer_time = t2.elapsed();
 
     // Step 4: metrics.
@@ -199,14 +218,16 @@ pub fn run_case(
     debug_assert_eq!(initial.coco, result.initial_coco);
     debug_assert_eq!(enhanced.coco, result.final_coco);
 
-    CaseResult {
+    Ok(CaseResult {
         initial,
         enhanced,
         partition_time,
         initial_mapping_time,
         timer_time,
         hierarchies_accepted: result.hierarchies_accepted,
-    }
+        stop_reason: result.stop_reason,
+        worker_panics: result.telemetry.worker_panics,
+    })
 }
 
 #[cfg(test)]
@@ -224,7 +245,7 @@ mod tests {
             ..Default::default()
         };
         for case in ExperimentCase::all() {
-            let r = run_case(&ga, &topo, case, &config);
+            let r = run_case(&ga, &topo, case, &config).unwrap();
             // TIMER accepts rounds by Coco+ (Coco - Div), so plain Coco may
             // drift up marginally in unlucky runs; anything beyond a few
             // percent indicates a bug.
@@ -260,7 +281,7 @@ mod tests {
             num_hierarchies: 2,
             ..Default::default()
         };
-        let r = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
+        let r = run_case(&ga, &topo, ExperimentCase::C2Identity, &config).unwrap();
         assert!(r.time_quotient(Duration::from_millis(100)).is_finite());
         assert!(r.time_quotient(Duration::ZERO).is_infinite());
     }

@@ -5,6 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use tie_fault::FaultHandle;
 use tie_topology::Topology;
 use tie_trace::{JsonlSink, StderrSink, TraceHandle, TraceLevel};
 
@@ -31,6 +32,11 @@ pub struct SweepOptions {
     /// Flight-recorder handle (from `--trace-out`/`--trace-level`; disabled
     /// by default).
     pub trace: TraceHandle,
+    /// Optional wall-clock deadline per TIMER run (from `--deadline-ms`).
+    pub deadline: Option<Duration>,
+    /// Fault-injection handle (from the `TIE_FAULTS` environment variable;
+    /// disabled by default).
+    pub faults: FaultHandle,
 }
 
 impl Default for SweepOptions {
@@ -43,6 +49,8 @@ impl Default for SweepOptions {
             threads: 1,
             batch: 0,
             trace: TraceHandle::off(),
+            deadline: None,
+            faults: FaultHandle::off(),
         }
     }
 }
@@ -62,6 +70,9 @@ pub struct CellObservations {
     pub time_quotients: Vec<f64>,
     /// Partitioning times in seconds, one per repetition.
     pub partition_seconds: Vec<f64>,
+    /// Errors of repetitions that failed (one entry per failed repetition;
+    /// the sweep keeps going past them instead of aborting the run).
+    pub errors: Vec<String>,
 }
 
 /// Runs one case over all (network, topology) pairs and returns raw
@@ -80,6 +91,7 @@ pub fn run_sweep(
             let mut cut_q = Vec::new();
             let mut time_q = Vec::new();
             let mut part_s = Vec::new();
+            let mut errors = Vec::new();
             for rep in 0..options.repetitions {
                 let config = ExperimentConfig {
                     num_hierarchies: options.num_hierarchies,
@@ -88,8 +100,19 @@ pub fn run_sweep(
                     threads: options.threads,
                     batch: options.batch,
                     trace: options.trace.clone(),
+                    deadline: options.deadline,
+                    faults: options.faults.clone(),
                 };
-                let result = run_case(&ga, topo, case, &config);
+                // A failing repetition is recorded and skipped; the rest of
+                // the sweep still runs so one bad row cannot sink a whole
+                // overnight campaign.
+                let result = match run_case(&ga, topo, case, &config) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        errors.push(format!("rep {rep}: {e}"));
+                        continue;
+                    }
+                };
                 coco_q.push(result.coco_quotient());
                 cut_q.push(result.cut_quotient());
                 // Baseline for the time quotient: the DRB mapping time for c1
@@ -109,6 +132,7 @@ pub fn run_sweep(
                 cut_quotients: cut_q,
                 time_quotients: time_q,
                 partition_seconds: part_s,
+                errors,
             });
         }
     }
@@ -125,14 +149,16 @@ pub fn quality_rows(cells: &[CellObservations], topologies: &[Topology]) -> Vec<
     topologies
         .iter()
         .filter_map(|topo| {
+            // Cells whose repetitions all failed carry no observations;
+            // `Summary::of` rejects empty slices, so skip them here.
             let per_network_coco: Vec<Summary> = cells
                 .iter()
-                .filter(|c| c.topology == topo.name)
+                .filter(|c| c.topology == topo.name && !c.coco_quotients.is_empty())
                 .map(|c| Summary::of(&c.coco_quotients))
                 .collect();
             let per_network_cut: Vec<Summary> = cells
                 .iter()
-                .filter(|c| c.topology == topo.name)
+                .filter(|c| c.topology == topo.name && !c.cut_quotients.is_empty())
                 .map(|c| Summary::of(&c.cut_quotients))
                 .collect();
             Some(QualityRow {
@@ -157,7 +183,7 @@ pub fn timing_rows(
             for (case, cells) in per_case {
                 let per_network: Vec<Summary> = cells
                     .iter()
-                    .filter(|c| c.topology == topo.name)
+                    .filter(|c| c.topology == topo.name && !c.time_quotients.is_empty())
                     .map(|c| Summary::of(&c.time_quotients))
                     .collect();
                 // Cases with no observations for this topology are omitted
@@ -174,15 +200,34 @@ pub fn timing_rows(
         .collect()
 }
 
+/// One-line usage text shared by the report binaries; printed alongside the
+/// error when [`parse_options`] rejects a flag.
+pub const USAGE: &str = "options: [--scale tiny|small|medium] [--reps N] [--nh N] \
+     [--threads N] [--batch N] [--full] [--deadline-ms N] \
+     [--trace-out PATH|-] [--trace-level off|gate|phase|debug]  \
+     (env: TIE_FAULTS=<fault spec> arms fault injection)";
+
 /// Parses the flags shared by the binaries (`--scale`, `--reps`, `--nh`,
-/// `--threads`, `--batch`, `--full`, `--trace-out`, `--trace-level`).
-/// Unknown flags are ignored so binaries can add their own.
+/// `--threads`, `--batch`, `--full`, `--deadline-ms`, `--trace-out`,
+/// `--trace-level`). Unknown flags are ignored so binaries can add their
+/// own; a *malformed* value for a known flag is an `Err` with a one-line
+/// explanation — callers print it with [`USAGE`] and exit instead of
+/// panicking mid-parse.
 ///
 /// `--trace-out <path>` enables the flight recorder and writes JSONL events
 /// to `<path>` (`-` streams human-readable lines to stderr instead).
 /// `--trace-level <gate|phase|debug>` controls verbosity; it defaults to
 /// `phase` once `--trace-out` is given and is ignored otherwise.
-pub fn parse_options(args: &[String]) -> SweepOptions {
+/// `--deadline-ms <n>` bounds each TIMER run by a wall-clock deadline.
+/// The `TIE_FAULTS` environment variable arms deterministic fault
+/// injection (see the `tie-fault` crate for the grammar).
+pub fn parse_options(args: &[String]) -> Result<SweepOptions, String> {
+    fn number(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
+        args[i + 1]
+            .parse()
+            .map_err(|_| format!("{flag} needs a number, got {:?}", args[i + 1]))
+    }
+
     let mut opts = SweepOptions::default();
     let mut trace_out: Option<String> = None;
     let mut trace_level: Option<TraceLevel> = None;
@@ -194,24 +239,29 @@ pub fn parse_options(args: &[String]) -> SweepOptions {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "medium" => Scale::Medium,
-                    other => panic!("unknown scale {other:?} (use tiny|small|medium)"),
+                    other => {
+                        return Err(format!("unknown scale {other:?} (use tiny|small|medium)"))
+                    }
                 };
                 i += 1;
             }
             "--reps" if i + 1 < args.len() => {
-                opts.repetitions = args[i + 1].parse().expect("--reps needs a number");
+                opts.repetitions = number(args, i, "--reps")?;
                 i += 1;
             }
             "--nh" if i + 1 < args.len() => {
-                opts.num_hierarchies = args[i + 1].parse().expect("--nh needs a number");
+                opts.num_hierarchies = number(args, i, "--nh")?;
                 i += 1;
             }
             "--threads" if i + 1 < args.len() => {
-                opts.threads = args[i + 1].parse().expect("--threads needs a number");
+                opts.threads = number(args, i, "--threads")?;
+                if opts.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
                 i += 1;
             }
             "--batch" if i + 1 < args.len() => {
-                opts.batch = args[i + 1].parse().expect("--batch needs a number");
+                opts.batch = number(args, i, "--batch")?;
                 i += 1;
             }
             "--full" => {
@@ -220,15 +270,25 @@ pub fn parse_options(args: &[String]) -> SweepOptions {
                 opts.num_hierarchies = 50;
                 opts.scale = Scale::Medium;
             }
+            "--deadline-ms" if i + 1 < args.len() => {
+                let ms = number(args, i, "--deadline-ms")?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be positive".to_string());
+                }
+                opts.deadline = Some(Duration::from_millis(ms as u64));
+                i += 1;
+            }
             "--trace-out" if i + 1 < args.len() => {
                 trace_out = Some(args[i + 1].clone());
                 i += 1;
             }
             "--trace-level" if i + 1 < args.len() => {
-                trace_level = Some(
-                    TraceLevel::parse(&args[i + 1])
-                        .expect("--trace-level needs off|gate|phase|debug"),
-                );
+                trace_level = Some(TraceLevel::parse(&args[i + 1]).ok_or_else(|| {
+                    format!(
+                        "--trace-level needs off|gate|phase|debug, got {:?}",
+                        args[i + 1]
+                    )
+                })?);
                 i += 1;
             }
             _ => {}
@@ -236,20 +296,22 @@ pub fn parse_options(args: &[String]) -> SweepOptions {
         i += 1;
     }
     if let Some(path) = trace_out {
-        opts.trace = make_trace_handle(&path, trace_level.unwrap_or(TraceLevel::Phase));
+        opts.trace = make_trace_handle(&path, trace_level.unwrap_or(TraceLevel::Phase))?;
     }
-    opts
+    opts.faults = FaultHandle::from_env().map_err(|e| format!("invalid TIE_FAULTS: {e}"))?;
+    Ok(opts)
 }
 
 /// Builds a [`TraceHandle`] for `--trace-out`: `-` streams human-readable
-/// events to stderr, any other value is a JSONL output path.
-pub fn make_trace_handle(path: &str, level: TraceLevel) -> TraceHandle {
+/// events to stderr, any other value is a JSONL output path. An unwritable
+/// path is reported as an `Err` instead of panicking.
+pub fn make_trace_handle(path: &str, level: TraceLevel) -> Result<TraceHandle, String> {
     if path == "-" {
-        TraceHandle::new(Arc::new(StderrSink), level)
+        Ok(TraceHandle::new(Arc::new(StderrSink), level))
     } else {
         let sink = JsonlSink::create(path)
-            .unwrap_or_else(|e| panic!("cannot open trace output {path:?}: {e}"));
-        TraceHandle::new(Arc::new(sink), level)
+            .map_err(|e| format!("cannot open trace output {path:?}: {e}"))?;
+        Ok(TraceHandle::new(Arc::new(sink), level))
     }
 }
 
@@ -266,14 +328,12 @@ mod tests {
             scale: Scale::Tiny,
             repetitions: 2,
             num_hierarchies: 3,
-            epsilon: 0.03,
-            threads: 1,
-            batch: 0,
-            trace: TraceHandle::off(),
+            ..Default::default()
         };
         let cells = run_sweep(networks, &topologies, ExperimentCase::C2Identity, &options);
         assert_eq!(cells.len(), networks.len() * topologies.len());
         for cell in &cells {
+            assert!(cell.errors.is_empty(), "{:?}", cell.errors);
             assert_eq!(cell.coco_quotients.len(), 2);
             // TIMER's accept criterion is Coco+, so plain Coco may worsen by a
             // small margin in individual runs; on average it improves.
@@ -306,14 +366,67 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let o = parse_options(&args);
+        let o = parse_options(&args).unwrap();
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.repetitions, 7);
         assert_eq!(o.num_hierarchies, 12);
         assert_eq!(o.threads, 2);
         assert_eq!(o.batch, 4);
-        let full = parse_options(&["--full".to_string()]);
+        assert_eq!(o.deadline, None);
+        let full = parse_options(&["--full".to_string()]).unwrap();
         assert_eq!(full.repetitions, 5);
         assert_eq!(full.num_hierarchies, 50);
+    }
+
+    #[test]
+    fn parse_options_rejects_malformed_values() {
+        let cases: &[&[&str]] = &[
+            &["--threads", "zero"],
+            &["--threads", "0"],
+            &["--batch", "-3"],
+            &["--reps", "many"],
+            &["--nh", "1.5"],
+            &["--scale", "huge"],
+            &["--deadline-ms", "soon"],
+            &["--deadline-ms", "0"],
+            &["--trace-level", "loud"],
+        ];
+        for case in cases {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            let err = parse_options(&args).unwrap_err();
+            assert!(
+                err.contains(case[0]) || err.contains(case[1]),
+                "error for {case:?} should name the flag or value: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_options_accepts_deadline() {
+        let args: Vec<String> = ["--deadline-ms", "250"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn quality_rows_skip_cells_with_no_observations() {
+        let topologies = vec![Topology::grid2d(4, 4)];
+        let cells = vec![CellObservations {
+            network: "n".to_string(),
+            topology: topologies[0].name.clone(),
+            coco_quotients: Vec::new(),
+            cut_quotients: Vec::new(),
+            time_quotients: Vec::new(),
+            partition_seconds: Vec::new(),
+            errors: vec!["rep 0: injected".to_string()],
+        }];
+        // Every repetition failed: no fabricated "quotient 1.0" rows.
+        assert!(quality_rows(&cells, &topologies).is_empty());
+        let timing = timing_rows(&[(ExperimentCase::C2Identity, cells)], &topologies);
+        assert_eq!(timing.len(), 1);
+        assert!(timing[0].per_case.is_empty());
     }
 }

@@ -11,6 +11,8 @@ use std::fmt::Write as _;
 use tie_timer::RoundTelemetry;
 use tie_trace::LogHistogram;
 
+use crate::experiment::ExperimentCase;
+use crate::harness::CellObservations;
 use crate::stats::Summary;
 
 /// One row of a Figure-5-style quality report: relative Cut and Coco
@@ -133,6 +135,91 @@ pub fn format_partition_times(rows: &[(String, f64, f64)], k_labels: (&str, &str
             product_512.powf(1.0 / n)
         );
     }
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float list as a JSON array.
+fn format_f64_list(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v:.6}");
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes a full sweep (all cases × all cells) as the machine-readable
+/// artifact `run_all --out` writes. Rows whose repetitions failed carry
+/// their error strings instead of silently disappearing, so a partially
+/// failed overnight campaign is still a complete, auditable record.
+pub fn format_sweep_json(per_case: &[(ExperimentCase, Vec<CellObservations>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"report\": \"sweep\",");
+    let total_errors: usize = per_case
+        .iter()
+        .flat_map(|(_, cells)| cells.iter())
+        .map(|c| c.errors.len())
+        .sum();
+    let _ = writeln!(out, "  \"total_errors\": {total_errors},");
+    let _ = writeln!(out, "  \"cases\": [");
+    for (i, (case, cells)) in per_case.iter().enumerate() {
+        let case_comma = if i + 1 < per_case.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"case\": \"{}\",", case.id());
+        let _ = writeln!(out, "      \"rows\": [");
+        for (j, c) in cells.iter().enumerate() {
+            let row_comma = if j + 1 < cells.len() { "," } else { "" };
+            let mut errors = String::from("[");
+            for (k, e) in c.errors.iter().enumerate() {
+                if k > 0 {
+                    errors.push_str(", ");
+                }
+                let _ = write!(errors, "\"{}\"", escape_json(e));
+            }
+            errors.push(']');
+            let _ = writeln!(
+                out,
+                "        {{\"network\": \"{}\", \"topology\": \"{}\", \
+                 \"coco_quotients\": {}, \"cut_quotients\": {}, \"time_quotients\": {}, \
+                 \"errors\": {}}}{}",
+                escape_json(&c.network),
+                escape_json(&c.topology),
+                format_f64_list(&c.coco_quotients),
+                format_f64_list(&c.cut_quotients),
+                format_f64_list(&c.time_quotients),
+                errors,
+                row_comma
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "    }}{case_comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
     out
 }
 
@@ -391,6 +478,46 @@ mod tests {
         assert!(s.contains("\"hierarchy_build\": 0"));
         // "scale" appears once per result row and once per telemetry record.
         assert_eq!(s.matches("\"scale\"").count(), 3);
+    }
+
+    #[test]
+    fn sweep_json_records_errors_and_balances() {
+        let cells = vec![
+            CellObservations {
+                network: "netA".into(),
+                topology: "grid4x4".into(),
+                coco_quotients: vec![0.9, 0.95],
+                cut_quotients: vec![1.0, 1.01],
+                time_quotients: vec![2.0, 2.1],
+                partition_seconds: vec![0.01, 0.01],
+                errors: Vec::new(),
+            },
+            CellObservations {
+                network: "netB".into(),
+                topology: "grid4x4".into(),
+                coco_quotients: Vec::new(),
+                cut_quotients: Vec::new(),
+                time_quotients: Vec::new(),
+                partition_seconds: Vec::new(),
+                errors: vec!["rep 0: worker panicked in hierarchy round 3: \"boom\"".into()],
+            },
+        ];
+        let s = format_sweep_json(&[(ExperimentCase::C2Identity, cells)]);
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert!(s.contains("\"total_errors\": 1"));
+        assert!(s.contains("\"case\": \"c2\""));
+        assert!(s.contains("\"network\": \"netB\""));
+        // The quote inside the error message must arrive escaped.
+        assert!(s.contains("round 3: \\\"boom\\\""));
+        assert!(s.contains("\"coco_quotients\": [0.900000, 0.950000]"));
+        assert!(s.contains("\"errors\": []"));
+    }
+
+    #[test]
+    fn json_escaping_covers_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
     }
 
     #[test]

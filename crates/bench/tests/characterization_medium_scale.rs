@@ -36,7 +36,7 @@ fn medium_scale_accepts_no_rounds_and_leaves_coco_frozen() {
     let mapping = Mapping::from_partition(&part, &scramble, topo.num_pes());
 
     let nh = 4;
-    let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, 1));
+    let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, 1)).unwrap();
 
     // The committed BENCH_timer.json artifact records this exact value for
     // the medium cell; the partition, scramble and labeling are all

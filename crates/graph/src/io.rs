@@ -10,6 +10,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use tie_fault::FaultHandle;
+
 use crate::csr::{Graph, NodeId, Weight};
 use crate::GraphBuilder;
 
@@ -88,6 +90,24 @@ pub fn from_metis_str(content: &str) -> Result<Graph, IoError> {
     let m: usize = head[1]
         .parse()
         .map_err(|_| IoError::Parse(format!("bad edge count: {}", head[1])))?;
+    // OOM defense against overflowing header counts: a METIS file with `n`
+    // vertices has at least `n` (possibly empty) body lines and an edge
+    // needs at least two body bytes, so counts far beyond the file size are
+    // certainly lies — reject them *before* sizing any allocation by them.
+    if n > content.len() + 1 {
+        return Err(IoError::Parse(format!(
+            "header claims {n} vertices but the file is only {} bytes — \
+             refusing to allocate for an impossible count",
+            content.len()
+        )));
+    }
+    if m > content.len() {
+        return Err(IoError::Parse(format!(
+            "header claims {m} edges but the file is only {} bytes — \
+             refusing to allocate for an impossible count",
+            content.len()
+        )));
+    }
     let fmt = if head.len() >= 3 { head[2] } else { "0" };
     let has_vwgt = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
     let has_ewgt = !fmt.is_empty() && fmt.as_bytes()[fmt.len() - 1] == b'1';
@@ -176,9 +196,33 @@ pub fn from_metis_str(content: &str) -> Result<Graph, IoError> {
     Ok(g)
 }
 
+/// Parses a graph in METIS format from raw bytes, turning invalid UTF-8
+/// into a typed [`IoError::Parse`] that names the first offending byte
+/// offset (instead of the untyped `io::Error` a lossy `read_to_string`
+/// would produce).
+pub fn from_metis_bytes(bytes: &[u8]) -> Result<Graph, IoError> {
+    let content = std::str::from_utf8(bytes).map_err(|e| {
+        IoError::Parse(format!(
+            "file is not valid UTF-8 (first invalid byte at offset {})",
+            e.valid_up_to()
+        ))
+    })?;
+    from_metis_str(content)
+}
+
 /// Reads a graph in METIS format from `path`.
 pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
-    from_metis_str(&fs::read_to_string(path)?)
+    read_metis_with(path, &FaultHandle::off())
+}
+
+/// [`read_metis`] with a fault-injection handle: an armed IO fault surfaces
+/// as `IoError::Io` exactly where a real file-system failure would. The
+/// plain reader delegates here with a disabled handle.
+pub fn read_metis_with<P: AsRef<Path>>(path: P, faults: &FaultHandle) -> Result<Graph, IoError> {
+    if let Some(e) = faults.io_fault("read_metis") {
+        return Err(IoError::Io(e));
+    }
+    from_metis_bytes(&fs::read(path)?)
 }
 
 /// Serializes a graph as a weighted edge list: one `u v w` triple per line,
@@ -240,6 +284,17 @@ pub fn from_edge_list_str(content: &str) -> Result<Graph, IoError> {
             max_id as usize + 1
         }
     });
+    // OOM defense for the declared header count. Unlike METIS, an edge-list
+    // file legitimately omits isolated vertices, so the count may exceed the
+    // line count — but a count beyond both the file size and a generous
+    // 2^20-isolated-vertex allowance is certainly an overflow/typo.
+    if n > content.len().max(1 << 20) {
+        return Err(IoError::Parse(format!(
+            "header claims {n} vertices for a {}-byte file — refusing to \
+             allocate for an impossible count",
+            content.len()
+        )));
+    }
     if (max_id as usize) >= n && !edges.is_empty() {
         return Err(IoError::Parse(format!(
             "vertex id {max_id} exceeds declared count {n}"
@@ -260,7 +315,25 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), IoE
 
 /// Reads a weighted edge list from `path`.
 pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
-    from_edge_list_str(&fs::read_to_string(path)?)
+    read_edge_list_with(path, &FaultHandle::off())
+}
+
+/// [`read_edge_list`] with a fault-injection handle (see [`read_metis_with`]).
+pub fn read_edge_list_with<P: AsRef<Path>>(
+    path: P,
+    faults: &FaultHandle,
+) -> Result<Graph, IoError> {
+    if let Some(e) = faults.io_fault("read_edge_list") {
+        return Err(IoError::Io(e));
+    }
+    let bytes = fs::read(path)?;
+    let content = std::str::from_utf8(&bytes).map_err(|e| {
+        IoError::Parse(format!(
+            "file is not valid UTF-8 (first invalid byte at offset {})",
+            e.valid_up_to()
+        ))
+    })?;
+    from_edge_list_str(content)
 }
 
 #[cfg(test)]

@@ -1,0 +1,172 @@
+//! Malformed-input corpus for the graph readers: every entry must produce a
+//! **typed** `IoError` — never a panic, never an abort, never an unbounded
+//! allocation. Run in release as part of the CI chaos job, where an OOM or
+//! index panic would slip past debug-only checks.
+
+use tie_fault::{FaultHandle, FaultPlan};
+use tie_graph::generators;
+use tie_graph::io::{
+    from_edge_list_str, from_metis_bytes, from_metis_str, read_edge_list_with, read_metis,
+    read_metis_with, to_metis_string, IoError,
+};
+
+/// The corpus: (name, content) pairs that exercise every rejection path of
+/// the METIS parser. Each must fail with `IoError::Parse`.
+fn metis_corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("empty file", String::new()),
+        (
+            "comment-only file",
+            "% nothing here\n% still nothing\n".to_string(),
+        ),
+        ("header with one field", "42\n".to_string()),
+        ("non-numeric vertex count", "many 3\n".to_string()),
+        ("non-numeric edge count", "3 lots\n".to_string()),
+        ("negative vertex count", "-5 2\n".to_string()),
+        // Overflowing counts: headers promising more data than the file can
+        // possibly hold must be rejected before any allocation is sized.
+        (
+            "overflowing vertex count",
+            "18446744073709551615 1\n1 2\n".to_string(),
+        ),
+        (
+            "huge vertex count, tiny file",
+            "999999999 1\n2\n1\n".to_string(),
+        ),
+        (
+            "huge edge count, tiny file",
+            "2 999999999\n2\n1\n".to_string(),
+        ),
+        // Truncations.
+        (
+            "truncated: too few vertex lines",
+            "3 2\n2 3\n1\n".to_string(),
+        ),
+        (
+            "truncated mid-adjacency (edge count off)",
+            "3 3\n2 3\n1\n1\n".to_string(),
+        ),
+        ("extra vertex lines", "2 1\n2\n1\n1\n".to_string()),
+        // Body-level corruption.
+        ("neighbour id zero (1-based ids)", "2 1\n0\n1\n".to_string()),
+        ("neighbour id out of range", "2 1\n5\n1\n".to_string()),
+        ("self-loop", "2 1\n1\n1\n".to_string()),
+        ("non-numeric neighbour", "2 1\ntwo\n1\n".to_string()),
+        ("bad edge weight", "2 1 1\n2 heavy\n1 heavy\n".to_string()),
+        ("missing edge weight", "2 1 1\n2\n1 1\n".to_string()),
+        ("bad vertex weight", "2 1 10\nheavy 2\n1 1\n".to_string()),
+        ("missing vertex weight", "2 1 10\n\n1 1\n".to_string()),
+        (
+            "edge count disagrees with adjacency",
+            "3 1\n2 3\n1 3\n1 2\n".to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn malformed_metis_corpus_yields_typed_errors() {
+    for (name, content) in metis_corpus() {
+        match from_metis_str(&content) {
+            Err(IoError::Parse(msg)) => {
+                assert!(!msg.is_empty(), "{name}: error message must not be empty");
+            }
+            Err(other) => panic!("{name}: expected IoError::Parse, got {other:?}"),
+            Ok(g) => panic!(
+                "{name}: malformed input parsed into a {}-vertex graph",
+                g.num_vertices()
+            ),
+        }
+    }
+}
+
+#[test]
+fn non_utf8_bytes_are_a_typed_error_naming_the_offset() {
+    // Valid header, then a 0xFF byte at offset 4.
+    let bytes: &[u8] = b"2 1\n\xff\n1\n";
+    match from_metis_bytes(bytes) {
+        Err(IoError::Parse(msg)) => {
+            assert!(msg.contains("UTF-8"), "{msg}");
+            assert!(msg.contains("offset 4"), "{msg}");
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+    // A lone continuation byte at offset 0.
+    assert!(matches!(
+        from_metis_bytes(&[0x80, 0x80]),
+        Err(IoError::Parse(_))
+    ));
+}
+
+#[test]
+fn malformed_edge_lists_yield_typed_errors() {
+    for (name, content) in [
+        ("endpoint out of range", "# 2 1\n0 7 1\n"),
+        ("non-numeric endpoint", "# 2 1\nzero 1 1\n"),
+        ("non-numeric weight", "# 2 1\n0 1 w\n"),
+        ("single-token edge line", "# 2 1\n0\n"),
+        ("huge vertex count, tiny file", "# 99999999 1\n0 1 1\n"),
+    ] {
+        match from_edge_list_str(content) {
+            Err(IoError::Parse(msg)) => {
+                assert!(!msg.is_empty(), "{name}: empty message");
+            }
+            Err(other) => panic!("{name}: expected IoError::Parse, got {other:?}"),
+            Ok(_) => panic!("{name}: malformed edge list parsed successfully"),
+        }
+    }
+}
+
+#[test]
+fn well_formed_round_trip_still_works() {
+    // The corpus guards must not have broken the happy path.
+    let g = generators::grid2d(4, 4);
+    let text = to_metis_string(&g);
+    let parsed = from_metis_str(&text).unwrap();
+    assert_eq!(parsed.num_vertices(), g.num_vertices());
+    assert_eq!(parsed.num_edges(), g.num_edges());
+}
+
+#[test]
+fn missing_file_is_io_not_panic() {
+    match read_metis("/nonexistent/definitely/not/here.metis") {
+        Err(IoError::Io(_)) => {}
+        other => panic!("expected IoError::Io, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_io_faults_surface_as_io_errors() {
+    // Write a valid file, then arm one IO fault: the first read fails with
+    // IoError::Io, the second (fault consumed) succeeds.
+    let g = generators::grid2d(3, 3);
+    let dir = std::env::temp_dir().join("tie_graph_chaos_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("grid.metis");
+    std::fs::write(&path, to_metis_string(&g)).unwrap();
+
+    let faults = FaultHandle::new(FaultPlan::new().with_io_fault(1));
+    match read_metis_with(&path, &faults) {
+        Err(IoError::Io(e)) => assert!(e.to_string().contains("injected"), "{e}"),
+        other => panic!("expected injected IoError::Io, got {other:?}"),
+    }
+    assert_eq!(faults.io_faults_fired(), 1);
+    let parsed = read_metis_with(&path, &faults).unwrap();
+    assert_eq!(parsed.num_vertices(), 9);
+
+    // Same contract for the edge-list reader.
+    let el_path = dir.join("grid.edges");
+    std::fs::write(&el_path, tie_graph::io::to_edge_list_string(&g)).unwrap();
+    let faults = FaultHandle::new(FaultPlan::new().with_io_fault(1));
+    assert!(matches!(
+        read_edge_list_with(&el_path, &faults),
+        Err(IoError::Io(_))
+    ));
+    assert_eq!(
+        read_edge_list_with(&el_path, &faults)
+            .unwrap()
+            .num_vertices(),
+        9
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

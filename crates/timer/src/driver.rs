@@ -23,6 +23,9 @@
 //! acceptance invalidated the batch, so the accept-heavy early rounds run
 //! (nearly) waste-free while the reject-heavy tail gets full parallelism.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -31,6 +34,7 @@ use rand::SeedableRng;
 
 use crossbeam::thread;
 
+use tie_fault::FaultHandle;
 use tie_graph::Graph;
 use tie_mapping::Mapping;
 use tie_topology::label::{invert_permutation, permute_label_bits};
@@ -38,6 +42,7 @@ use tie_topology::PartialCubeLabeling;
 use tie_trace::{Phase, PhaseTimes, TraceEvent, TraceHandle};
 
 use crate::assemble::assemble_labels;
+use crate::error::{StopReason, TieError};
 use crate::hierarchy::build_hierarchy_traced;
 use crate::labeling::Labeling;
 use crate::objective::{coco_and_div_for_labels, coco_div_delta, AcceptGate};
@@ -79,6 +84,10 @@ pub struct TimerResult {
     /// driver performs anyway); the gate side is byte-identical across
     /// `(threads, batch)` settings, the phase side is wall-clock.
     pub telemetry: RoundTelemetry,
+    /// Why the run stopped offering rounds: [`StopReason::Completed`] on a
+    /// full run, or the deadline / cancellation / adaptive-stopping cause
+    /// that cut it short (the labeling is then the best accepted so far).
+    pub stop_reason: StopReason,
 }
 
 impl TimerResult {
@@ -107,14 +116,29 @@ impl Timer {
     /// described by `pcube` — and returns the improved mapping together with
     /// quality bookkeeping. The balance of the initial mapping is preserved
     /// exactly (labels are only permuted among the vertices).
+    ///
+    /// # Errors
+    /// Returns [`TieError::InvalidInput`] for a malformed config or a
+    /// graph/mapping size mismatch, [`TieError::IncompatibleTopology`] when
+    /// the labeling cannot carry the mapping (PE-count mismatch, duplicate
+    /// PE labels, label overflow), and [`TieError::WorkerPanicked`] when a
+    /// hierarchy round panics *persistently* (a transient worker panic is
+    /// absorbed: the round is quarantined and re-run sequentially, counted
+    /// in `telemetry.worker_panics`). Deadline expiry and cancellation are
+    /// not errors — the run returns best-so-far with the matching
+    /// [`StopReason`].
     pub fn enhance(
         &self,
         graph: &Graph,
         pcube: &PartialCubeLabeling,
         initial: &Mapping,
-    ) -> TimerResult {
+    ) -> Result<TimerResult, TieError> {
         let cfg = &self.config;
-        let mut labeling = Labeling::from_mapping(graph, pcube, initial, cfg.seed);
+        cfg.validate()?;
+        let start = Instant::now();
+        let deadline = cfg.deadline.map(|d| start + d);
+        let faults = &cfg.faults;
+        let mut labeling = Labeling::from_mapping(graph, pcube, initial, cfg.seed)?;
         let dim = labeling.dim;
         let p_mask = labeling.p_mask();
         let full_e_mask = labeling.ext_mask();
@@ -167,11 +191,26 @@ impl Timer {
         // stays byte-identical for every (threads, batch) setting.
         let mut depth = 1usize;
 
+        let mut stop_reason = StopReason::Completed;
+        let mut worker_panics = 0usize;
+        let mut consecutive_rejections = 0usize;
+
         let mut next = 0usize;
         while next < perms.len() {
+            // Graceful-degradation checks, once per batch boundary: the
+            // labeling is always a fully committed (best-so-far) state here,
+            // so stopping now loses nothing but unexplored rounds.
+            if cfg.cancel.is_cancelled() {
+                stop_reason = StopReason::Cancelled;
+                break;
+            }
+            if deadline.is_some_and(|t| Instant::now() >= t) {
+                stop_reason = StopReason::DeadlineExceeded;
+                break;
+            }
             let b = depth.min(max_batch).min(perms.len() - next);
-            let outcomes: Vec<RoundOutcome> = if threads == 1 || b == 1 {
-                vec![run_round(
+            let attempts: Vec<Result<RoundOutcome, String>> = if threads == 1 || b == 1 {
+                vec![guarded_round(
                     graph,
                     &labeling.labels,
                     &perms[next],
@@ -180,6 +219,7 @@ impl Timer {
                     e_mask,
                     next,
                     trace,
+                    faults,
                 )]
             } else {
                 // Speculation: rounds next..next+b all start from the current
@@ -189,20 +229,23 @@ impl Timer {
                 // (oversubscribed workers only fight over the cache; on a
                 // single-core box the batch runs on one spawned thread).
                 let base: &[u64] = &labeling.labels;
-                let workers = threads.min(b).min(hardware_threads()).max(1);
+                let workers = threads
+                    .min(b)
+                    .min(hardware_threads().unwrap_or(threads))
+                    .max(1);
                 let chunk = b.div_ceil(workers);
-                thread::scope(|scope| {
-                    let handles: Vec<_> = perms[next..next + b]
+                let joined = thread::scope(|scope| {
+                    let handles: Vec<(usize, _)> = perms[next..next + b]
                         .chunks(chunk)
                         .enumerate()
                         .map(|(chunk_idx, chunk_perms)| {
                             let first_round = next + chunk_idx * chunk;
-                            scope.spawn(move |_| {
+                            let handle = scope.spawn(move |_| {
                                 chunk_perms
                                     .iter()
                                     .enumerate()
                                     .map(|(i, perm)| {
-                                        run_round(
+                                        guarded_round(
                                             graph,
                                             base,
                                             perm,
@@ -211,19 +254,75 @@ impl Timer {
                                             e_mask,
                                             first_round + i,
                                             trace,
+                                            faults,
                                         )
                                     })
                                     .collect::<Vec<_>>()
-                            })
+                            });
+                            (chunk_perms.len(), handle)
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .flat_map(|h| h.join().expect("hierarchy round worker panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope failed")
+                        .flat_map(|(len, h)| match h.join() {
+                            Ok(results) => results,
+                            // `guarded_round` catches panics inside the worker,
+                            // so a join error means the panic escaped the guard
+                            // (e.g. in the iterator plumbing). Degrade it to
+                            // per-round failures and let the quarantine below
+                            // retry them sequentially.
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                (0..len).map(|_| Err(msg.clone())).collect()
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                });
+                match joined {
+                    Ok(v) => v,
+                    // The vendored scope never constructs `Err` (worker panics
+                    // are surfaced via `join`, which we handled above), but if
+                    // one ever arrives, treat the whole batch as panicked and
+                    // let the quarantine retry it.
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        (0..b).map(|_| Err(msg.clone())).collect()
+                    }
+                }
             };
+
+            // Quarantine: a panicked speculative round is re-run sequentially
+            // from the same base. `run_round` is a pure function of
+            // (base, perm), so for a *transient* fault the re-run reproduces
+            // exactly what the healthy worker would have produced and the
+            // trajectory stays byte-identical; a second panic means the fault
+            // is persistent and the run fails with a typed error.
+            let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(attempts.len());
+            for (i, attempt) in attempts.into_iter().enumerate() {
+                let round = next + i;
+                match attempt {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(_first_panic) => {
+                        worker_panics += 1;
+                        match guarded_round(
+                            graph,
+                            &labeling.labels,
+                            &perms[round],
+                            dim,
+                            p_mask,
+                            e_mask,
+                            round,
+                            trace,
+                            faults,
+                        ) {
+                            Ok(outcome) => outcomes.push(outcome),
+                            Err(message) => {
+                                return Err(TieError::WorkerPanicked { round, message });
+                            }
+                        }
+                    }
+                }
+            }
 
             // Every executed round burned real wall-clock, including the
             // speculations an acceptance is about to discard — the phase
@@ -242,6 +341,7 @@ impl Timer {
             let commit_start = Instant::now();
             let mut committed = 0usize;
             let mut invalidated = false;
+            let mut rejection_stop = None;
             for (i, outcome) in outcomes.into_iter().enumerate() {
                 total_swaps += outcome.swaps;
                 total_repaired += outcome.repaired;
@@ -260,10 +360,24 @@ impl Timer {
                     div: gate.div(),
                 });
                 if accepted {
+                    consecutive_rejections = 0;
                     invalidated = outcome.labels != labeling.labels;
                     labeling.set_labels(outcome.labels);
                     if invalidated {
                         break;
+                    }
+                } else {
+                    consecutive_rejections += 1;
+                    // Adaptive stopping rule (opt-in): counted in commit
+                    // order, which is permutation order for every
+                    // (threads, batch) setting — so the truncation point and
+                    // hence the result stay byte-identical across thread
+                    // counts.
+                    if let Some(k) = cfg.max_consecutive_rejections {
+                        if consecutive_rejections >= k {
+                            rejection_stop = Some(StopReason::ConsecutiveRejections(k));
+                            break;
+                        }
                     }
                 }
             }
@@ -299,6 +413,11 @@ impl Timer {
                 debug_assert_eq!(gate.coco(), c as i64, "incremental Coco drifted");
                 debug_assert_eq!(gate.div(), d as i64, "incremental Div drifted");
             }
+
+            if let Some(reason) = rejection_stop {
+                stop_reason = reason;
+                break;
+            }
         }
 
         debug_assert_eq!(
@@ -310,14 +429,18 @@ impl Timer {
         let (final_coco, final_div) =
             coco_and_div_for_labels(graph, &labeling.labels, p_mask, full_e_mask);
         debug_assert_eq!(gate.coco(), final_coco as i64);
+        telemetry.worker_panics = worker_panics;
+        telemetry.stop_reason = stop_reason;
         trace.emit(TraceEvent::RunEnd {
             final_coco,
             final_div,
             accepted: telemetry.accepted,
             rejected: telemetry.rejected,
             ties: telemetry.ties,
+            stop_reason: stop_reason.name(),
+            worker_panics,
         });
-        TimerResult {
+        Ok(TimerResult {
             mapping: labeling.to_mapping(),
             labeling,
             initial_coco,
@@ -329,15 +452,54 @@ impl Timer {
             total_swaps,
             total_repaired,
             telemetry,
-        }
+            stop_reason,
+        })
     }
 }
 
-/// Usable hardware parallelism (respects CPU affinity/cgroup limits).
-fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+/// Usable hardware parallelism (respects CPU affinity/cgroup limits), cached
+/// after the first query. `None` when the platform cannot tell — the driver
+/// then trusts the configured thread count instead of silently serializing
+/// the batch (the old `.unwrap_or(1)` fallback capped every batch to one
+/// spawned worker exactly on the platforms where parallelism is unknowable).
+fn hardware_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+}
+
+/// Stringifies a panic payload (`&str` and `String` payloads cover every
+/// `panic!` in this workspace; anything else is described by its type).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs one hierarchy round inside a panic guard: a panicking round (real
+/// bug or injected fault) becomes an `Err` carrying the panic message
+/// instead of unwinding across the driver. `run_round` only touches local
+/// state, so unwinding out of it cannot leave broken shared state behind —
+/// which is what makes `AssertUnwindSafe` sound here.
+#[allow(clippy::too_many_arguments)] // private helper mirroring run_round
+fn guarded_round(
+    graph: &Graph,
+    base: &[u64],
+    perm: &[usize],
+    dim: usize,
+    p_mask: u64,
+    e_mask: u64,
+    round: usize,
+    trace: &TraceHandle,
+    faults: &FaultHandle,
+) -> Result<RoundOutcome, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_round(graph, base, perm, dim, p_mask, e_mask, round, trace, faults)
+    }))
+    .map_err(|payload| panic_message(payload.as_ref()))
 }
 
 /// Result of one executed hierarchy round, ready for the accept gate.
@@ -371,11 +533,17 @@ fn run_round(
     e_mask: u64,
     round: usize,
     trace: &TraceHandle,
+    faults: &FaultHandle,
 ) -> RoundOutcome {
+    // Chaos probe: with an armed fault plan this round panics here (inside
+    // the caller's panic guard); with the default disabled handle it is a
+    // single branch, exactly like the trace probes.
+    faults.maybe_panic(round);
     let mut phases = PhaseTimes::default();
     let inv = invert_permutation(perm);
 
     // Line 7: permute labels (and the masks along with them).
+    faults.delay("hierarchy_build");
     let build_start = Instant::now();
     let permuted: Vec<u64> = base
         .iter()
@@ -410,6 +578,7 @@ fn run_round(
 
     // Line 15: assemble a new fine-level labeling from the hierarchy, then
     // (line 16) undo the digit permutation.
+    faults.delay("assemble");
     let assemble_start = Instant::now();
     let assembled = assemble_labels(&run, dim);
     let labels: Vec<u64> = assembled
@@ -430,6 +599,7 @@ fn run_round(
     // not worsen the true communication cost — without the separate Coco
     // delta, rounds that grow Div faster than Coco would be accepted and
     // plain Coco would drift upward as NH grows.
+    faults.delay("delta_scan");
     let scan_start = Instant::now();
     let (coco_delta, div_delta) = coco_div_delta(graph, base, &labels, p_mask, e_mask);
     let scan_us = scan_start.elapsed().as_micros() as u64;
@@ -451,12 +621,15 @@ fn run_round(
 }
 
 /// Convenience wrapper: runs TIMER with `config` on the given instance.
+///
+/// # Errors
+/// Same contract as [`Timer::enhance`].
 pub fn enhance_mapping(
     graph: &Graph,
     pcube: &PartialCubeLabeling,
     initial: &Mapping,
     config: TimerConfig,
-) -> TimerResult {
+) -> Result<TimerResult, TieError> {
     Timer::new(config).enhance(graph, pcube, initial)
 }
 
@@ -491,7 +664,7 @@ mod tests {
     #[test]
     fn timer_never_worsens_coco_plus_and_preserves_balance() {
         let (ga, topo, pcube, mapping) = fixture(1);
-        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(10, 7));
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(10, 7)).unwrap();
         assert!(result.final_coco_plus <= result.initial_coco_plus);
         // Balance: identical load multiset before and after.
         let mut before = mapping.load_per_pe();
@@ -518,7 +691,7 @@ mod tests {
         let part = partition(&ga, &PartitionConfig::new(16, 2));
         let scramble = generators::random_permutation(16, 3);
         let bad = Mapping::from_partition(&part, &scramble, 16);
-        let result = enhance_mapping(&ga, &pcube, &bad, TimerConfig::new(15, 5));
+        let result = enhance_mapping(&ga, &pcube, &bad, TimerConfig::new(15, 5)).unwrap();
         assert!(
             result.final_coco < result.initial_coco,
             "TIMER should reduce Coco: {} -> {}",
@@ -540,8 +713,8 @@ mod tests {
     #[test]
     fn timer_is_deterministic_in_seed() {
         let (ga, _, pcube, mapping) = fixture(3);
-        let a = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 11));
-        let b = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 11));
+        let a = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 11)).unwrap();
+        let b = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 11)).unwrap();
         assert_eq!(a.mapping, b.mapping);
         assert_eq!(a.final_coco, b.final_coco);
     }
@@ -549,8 +722,8 @@ mod tests {
     #[test]
     fn more_hierarchies_do_not_hurt() {
         let (ga, _, pcube, mapping) = fixture(4);
-        let few = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(2, 9));
-        let many = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(20, 9));
+        let few = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(2, 9)).unwrap();
+        let many = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(20, 9)).unwrap();
         assert!(many.final_coco_plus <= few.final_coco_plus);
     }
 
@@ -562,7 +735,8 @@ mod tests {
             &pcube,
             &mapping,
             TimerConfig::new(8, 3).without_diversity(),
-        );
+        )
+        .unwrap();
         assert!(result.final_coco <= result.initial_coco);
         assert_eq!(
             result.final_coco,
@@ -578,7 +752,8 @@ mod tests {
             &pcube,
             &mapping,
             TimerConfig::new(6, 2).with_threads(4),
-        );
+        )
+        .unwrap();
         assert!(result.final_coco_plus <= result.initial_coco_plus);
         assert_eq!(
             result.final_coco,
@@ -596,7 +771,7 @@ mod tests {
         // Threads and batch are pure scheduling knobs: every combination must
         // reproduce the sequential trajectory bit for bit, counters included.
         let (ga, _, pcube, mapping) = fixture(8);
-        let sequential = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(12, 4));
+        let sequential = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(12, 4)).unwrap();
         for (threads, batch) in [(2, 0), (4, 0), (4, 2), (3, 5), (8, 8), (1, 4)] {
             let r = enhance_mapping(
                 &ga,
@@ -605,7 +780,8 @@ mod tests {
                 TimerConfig::new(12, 4)
                     .with_threads(threads)
                     .with_batch(batch),
-            );
+            )
+            .unwrap();
             assert_eq!(
                 r.labeling.labels, sequential.labeling.labels,
                 "threads={threads} batch={batch}"
@@ -631,7 +807,7 @@ mod tests {
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
         let ga = Graph::from_edges(8, &[]);
         let mapping = Mapping::new(vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
-        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(6, 1));
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(6, 1)).unwrap();
         assert_eq!(result.final_coco, 0);
         assert_eq!(
             result.hierarchies_accepted, 6,
@@ -644,7 +820,8 @@ mod tests {
             &pcube,
             &mapping,
             TimerConfig::new(6, 1).with_threads(4),
-        );
+        )
+        .unwrap();
         assert_eq!(batched.hierarchies_accepted, 6);
         assert_eq!(batched.labeling.labels, result.labeling.labels);
     }
@@ -667,7 +844,7 @@ mod tests {
         let sink = Arc::new(MemorySink::default());
         let cfg =
             TimerConfig::new(nh, 1).with_trace(TraceHandle::new(sink.clone(), TraceLevel::Gate));
-        let result = enhance_mapping(&ga, &pcube, &mapping, cfg);
+        let result = enhance_mapping(&ga, &pcube, &mapping, cfg).unwrap();
 
         assert_eq!(result.telemetry.accepted, nh);
         assert_eq!(result.telemetry.rejected, 0);
@@ -711,7 +888,7 @@ mod tests {
             let pcube = recognize_partial_cube(&topo.graph).unwrap();
             let part = partition(&ga, &PartitionConfig::new(16, 1));
             let mapping = identity_mapping(&part, 16);
-            let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, 1));
+            let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, 1)).unwrap();
             assert!(result.final_coco <= result.initial_coco, "{}", topo.name);
             assert_eq!(
                 result.final_coco,
@@ -730,7 +907,7 @@ mod tests {
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
         let ga = generators::randomize_edge_weights(&topo.graph, 3, 1);
         let mapping = Mapping::new(generators::random_permutation(16, 5), 16);
-        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(20, 3));
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(20, 3)).unwrap();
         assert!(result.final_coco <= result.initial_coco);
         assert!(result.labeling.is_unique());
     }

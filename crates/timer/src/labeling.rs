@@ -18,6 +18,8 @@ use tie_graph::{Graph, NodeId};
 use tie_mapping::Mapping;
 use tie_topology::PartialCubeLabeling;
 
+use crate::error::TieError;
+
 /// The labeling `la : Va -> {0,1}^dim` of the application vertices.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Labeling {
@@ -41,25 +43,33 @@ impl Labeling {
     /// block the extension values `0..size` are assigned in a random order
     /// (the paper shuffles them to provide a good random starting point).
     ///
-    /// # Panics
-    /// Panics if the total label width would exceed 64 bits or if the mapping
-    /// and graph disagree on the vertex count.
+    /// # Errors
+    /// Returns [`TieError::InvalidInput`] if the mapping and graph disagree
+    /// on the vertex count, and [`TieError::IncompatibleTopology`] if the
+    /// topology and mapping disagree on the PE count, the PE labels are not
+    /// pairwise distinct, or the total label width would exceed 64 bits.
     pub fn from_mapping(
         graph: &Graph,
         pcube: &PartialCubeLabeling,
         mapping: &Mapping,
         seed: u64,
-    ) -> Self {
-        assert_eq!(
-            graph.num_vertices(),
-            mapping.num_tasks(),
-            "graph/mapping size mismatch"
-        );
-        assert_eq!(
-            pcube.num_pes(),
-            mapping.num_pes(),
-            "topology/mapping PE count mismatch"
-        );
+    ) -> Result<Self, TieError> {
+        if graph.num_vertices() != mapping.num_tasks() {
+            return Err(TieError::InvalidInput(format!(
+                "graph/mapping size mismatch: graph has {} vertices, \
+                 mapping covers {} tasks",
+                graph.num_vertices(),
+                mapping.num_tasks()
+            )));
+        }
+        if pcube.num_pes() != mapping.num_pes() {
+            return Err(TieError::IncompatibleTopology(format!(
+                "topology/mapping PE count mismatch: labeling has {} PEs, \
+                 mapping targets {}",
+                pcube.num_pes(),
+                mapping.num_pes()
+            )));
+        }
         let n = graph.num_vertices();
         let num_pes = mapping.num_pes();
 
@@ -76,7 +86,12 @@ impl Labeling {
         };
         let dim_p = pcube.dim;
         let dim = dim_p + ext_bits;
-        assert!(dim <= 64, "label width {dim} exceeds 64 bits");
+        if dim > 64 {
+            return Err(TieError::IncompatibleTopology(format!(
+                "label width {dim} ({dim_p} PE digits + {ext_bits} extension \
+                 digits) exceeds the 64-bit label encoding"
+            )));
+        }
 
         let mut rng = StdRng::seed_from_u64(seed);
         let mut labels = vec![0u64; n];
@@ -88,20 +103,30 @@ impl Labeling {
                 labels[v as usize] = (lp << ext_bits) | idx as u64;
             }
         }
-        let pe_of_label = pcube
+        let pe_of_label: HashMap<u64, u32> = pcube
             .labels
             .iter()
             .enumerate()
             .map(|(pe, &l)| (l, pe as u32))
             .collect();
-        Labeling {
+        // A HashMap silently collapses duplicate keys, which would make
+        // `to_mapping` send two PEs' worth of vertices to one PE — reject
+        // the inconsistent labeling instead.
+        if pe_of_label.len() != num_pes {
+            return Err(TieError::IncompatibleTopology(format!(
+                "PE labels are not pairwise distinct ({} labels for {num_pes} \
+                 PEs); the topology labeling is internally inconsistent",
+                pe_of_label.len()
+            )));
+        }
+        Ok(Labeling {
             labels,
             dim,
             dim_p,
             ext_bits,
             pe_of_label,
             num_pes,
-        }
+        })
     }
 
     /// Number of labelled vertices.
@@ -202,7 +227,7 @@ mod tests {
     #[test]
     fn labels_are_unique_and_encode_mapping() {
         let (ga, pcube, mapping) = setup(1);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 7);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 7).unwrap();
         assert!(labeling.is_unique());
         // Requirement 1 of Section 4: la encodes µ.
         for v in ga.vertices() {
@@ -214,7 +239,7 @@ mod tests {
     #[test]
     fn dimensions_follow_equation_6() {
         let (ga, pcube, mapping) = setup(2);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 3);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 3).unwrap();
         let max_block = mapping.load_per_pe().into_iter().max().unwrap();
         let expected_ext = (max_block as f64).log2().ceil() as usize;
         assert_eq!(labeling.ext_bits, expected_ext);
@@ -226,7 +251,7 @@ mod tests {
     fn lp_part_distance_equals_pe_distance() {
         // Requirement 2 of Section 4: the PE distance is readable from labels.
         let (ga, pcube, mapping) = setup(3);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 1);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 1).unwrap();
         let dist = tie_graph::traversal::all_pairs_distances(&Topology::grid2d(4, 4).graph);
         for (u, v, _) in ga.edges().take(500) {
             let h = (labeling.lp_part(u) ^ labeling.lp_part(v)).count_ones();
@@ -237,7 +262,7 @@ mod tests {
     #[test]
     fn masks_are_disjoint_and_cover_dim() {
         let (ga, pcube, mapping) = setup(4);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 2);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 2).unwrap();
         assert_eq!(labeling.p_mask() & labeling.ext_mask(), 0);
         assert_eq!(
             (labeling.p_mask() | labeling.ext_mask()).count_ones() as usize,
@@ -248,8 +273,8 @@ mod tests {
     #[test]
     fn extension_shuffle_is_seed_dependent_but_structure_preserving() {
         let (ga, pcube, mapping) = setup(5);
-        let a = Labeling::from_mapping(&ga, &pcube, &mapping, 1);
-        let b = Labeling::from_mapping(&ga, &pcube, &mapping, 2);
+        let a = Labeling::from_mapping(&ga, &pcube, &mapping, 1).unwrap();
+        let b = Labeling::from_mapping(&ga, &pcube, &mapping, 2).unwrap();
         // Same label multiset, same mapping, (very likely) different order.
         assert_eq!(a.sorted_label_set(), b.sorted_label_set());
         assert_eq!(a.to_mapping(), b.to_mapping());
@@ -262,9 +287,52 @@ mod tests {
         let topo = Topology::hypercube(4);
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
         let mapping = Mapping::new((0..16u32).collect(), 16);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 0);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 0).unwrap();
         assert_eq!(labeling.ext_bits, 0);
         assert_eq!(labeling.dim, 4);
         assert!(labeling.is_unique());
+    }
+
+    #[test]
+    fn size_mismatch_is_invalid_input() {
+        let (_, pcube, mapping) = setup(6);
+        let wrong = generators::cycle_graph(7); // mapping covers 300 tasks
+        let err = Labeling::from_mapping(&wrong, &pcube, &mapping, 0).unwrap_err();
+        assert!(matches!(err, TieError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn pe_count_mismatch_is_incompatible_topology() {
+        let (ga, pcube, _) = setup(7);
+        let wrong = Mapping::new(vec![0; ga.num_vertices()], 4); // pcube has 16 PEs
+        let err = Labeling::from_mapping(&ga, &pcube, &wrong, 0).unwrap_err();
+        assert!(matches!(err, TieError::IncompatibleTopology(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_label_width_is_incompatible_topology() {
+        // A 60-digit hypercube labeling plus ≥5 extension bits overflows u64.
+        let ga = generators::cycle_graph(64);
+        let pcube = PartialCubeLabeling {
+            labels: (0..2u64).collect(),
+            dim: 60,
+            edge_class: Vec::new(),
+        };
+        let mapping = Mapping::new((0..64).map(|v| (v % 2) as u32).collect::<Vec<u32>>(), 2);
+        let err = Labeling::from_mapping(&ga, &pcube, &mapping, 0).unwrap_err();
+        assert!(matches!(err, TieError::IncompatibleTopology(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_pe_labels_are_rejected() {
+        let ga = generators::cycle_graph(8);
+        let pcube = PartialCubeLabeling {
+            labels: vec![0, 1, 1, 2],
+            dim: 2,
+            edge_class: Vec::new(),
+        };
+        let mapping = Mapping::new((0..8).map(|v| (v % 4) as u32).collect::<Vec<u32>>(), 4);
+        let err = Labeling::from_mapping(&ga, &pcube, &mapping, 0).unwrap_err();
+        assert!(matches!(err, TieError::IncompatibleTopology(_)), "{err}");
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod assemble;
 pub mod driver;
+pub mod error;
 pub mod hierarchy;
 pub mod labeling;
 pub mod objective;
@@ -31,11 +32,14 @@ pub mod refinement;
 pub mod telemetry;
 
 pub use driver::{enhance_mapping, Timer, TimerResult};
+pub use error::{CancelToken, StopReason, TieError};
 pub use labeling::Labeling;
 pub use objective::{coco, coco_plus, diversity, AcceptGate};
 pub use refinement::{polish, PolishStats};
 pub use telemetry::RoundTelemetry;
 
+use std::time::Duration;
+use tie_fault::FaultHandle;
 use tie_trace::TraceHandle;
 
 /// Configuration of the TIMER search.
@@ -65,6 +69,26 @@ pub struct TimerConfig {
     /// `Timer::enhance` behaves byte-identically to the uninstrumented
     /// driver. Tracing never influences the search — it only records it.
     pub trace: TraceHandle,
+    /// Optional wall-clock budget for the whole search. Checked at batch
+    /// boundaries; on expiry the driver returns the best labeling accepted
+    /// so far with [`StopReason::DeadlineExceeded`]. `None` (the default)
+    /// means unbounded. Note that a wall-clock stop may land on a different
+    /// round for different thread counts, so deadline-bounded runs are the
+    /// one mode exempt from the byte-identity guarantee.
+    pub deadline: Option<Duration>,
+    /// Opt-in adaptive stopping rule: stop after this many *consecutive*
+    /// rejected hierarchy rounds (counted in commit order, so the truncation
+    /// point — and hence the result — is identical for every thread count).
+    /// `None` (the default) disables the rule; `Some(0)` is rejected by
+    /// [`TimerConfig::validate`].
+    pub max_consecutive_rejections: Option<usize>,
+    /// Cooperative cancellation, checked at batch boundaries. The default
+    /// token is never cancelled.
+    pub cancel: CancelToken,
+    /// Fault-injection handle (see `tie-fault`). Disabled by default — a
+    /// single branch per probe site, exactly like `trace`. Only the chaos
+    /// tests and `TIE_FAULTS`-aware binaries arm it.
+    pub faults: FaultHandle,
 }
 
 impl Default for TimerConfig {
@@ -76,6 +100,10 @@ impl Default for TimerConfig {
             threads: 1,
             batch: 0,
             trace: TraceHandle::off(),
+            deadline: None,
+            max_consecutive_rejections: None,
+            cancel: CancelToken::new(),
+            faults: FaultHandle::off(),
         }
     }
 }
@@ -117,6 +145,34 @@ impl TimerConfig {
         self
     }
 
+    /// Sets a wall-clock deadline; the driver returns best-so-far with
+    /// [`StopReason::DeadlineExceeded`] when it expires.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables the adaptive stopping rule: stop after `k` consecutive
+    /// rejected rounds. `k` must be ≥ 1 (enforced by [`TimerConfig::validate`]).
+    pub fn stop_after_rejections(mut self, k: usize) -> Self {
+        self.max_consecutive_rejections = Some(k);
+        self
+    }
+
+    /// Attaches a cancellation token; `token.cancel()` makes the driver
+    /// return best-so-far with [`StopReason::Cancelled`] at the next batch
+    /// boundary.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Attaches a fault-injection handle (chaos testing only).
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The speculation-depth cap the driver actually uses: `batch` with the
     /// `0` sentinel resolved to `threads`. The single source of truth for
     /// that resolution — harness and reporting code must use this instead of
@@ -127,5 +183,33 @@ impl TimerConfig {
         } else {
             self.batch
         }
+    }
+
+    /// Checks the config's internal sanity (the instance-independent half of
+    /// validation; `Timer::enhance` also checks the config against the
+    /// concrete graph/topology/mapping). Called by the driver up front so a
+    /// bad config fails fast with a [`TieError::InvalidInput`] instead of
+    /// misbehaving mid-run.
+    pub fn validate(&self) -> Result<(), TieError> {
+        if self.threads == 0 {
+            return Err(TieError::InvalidInput(
+                "threads must be >= 1 (0 workers cannot make progress)".into(),
+            ));
+        }
+        if self.max_consecutive_rejections == Some(0) {
+            return Err(TieError::InvalidInput(
+                "max_consecutive_rejections must be >= 1 when set \
+                 (0 would stop before the first round)"
+                    .into(),
+            ));
+        }
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(TieError::InvalidInput(
+                "deadline must be > 0 when set (use cancel() for an \
+                 immediate stop)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 }

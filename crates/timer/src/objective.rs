@@ -236,7 +236,7 @@ mod tests {
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
         let part = partition(&ga, &PartitionConfig::new(16, 1));
         let mapping = identity_mapping(&part, 16);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 3);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 3).unwrap();
         (ga, labeling, mapping, topo)
     }
 
@@ -369,7 +369,7 @@ mod tests {
             let topo = Topology::path(2);
             let pcube = recognize_partial_cube(&topo.graph).unwrap();
             let mapping = Mapping::new(vec![0, 0], 2);
-            Labeling::from_mapping(&g, &pcube, &mapping, 0)
+            Labeling::from_mapping(&g, &pcube, &mapping, 0).unwrap()
         };
         // Force known labels: same lp part (PE 0), different extension bits.
         let lp0 = labeling.labels[0] >> labeling.ext_bits;
@@ -388,7 +388,7 @@ mod tests {
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
         let ga = topo.graph.clone();
         let mapping = Mapping::new((0..16u32).collect(), 16);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 0);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 0).unwrap();
         assert_eq!(coco(&ga, &labeling), ga.total_edge_weight());
     }
 }

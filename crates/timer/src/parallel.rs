@@ -77,10 +77,16 @@ pub fn parallel_sweep(
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(chunk) => chunk,
+                    // Re-raise the worker's own panic payload instead of
+                    // replacing it with an `expect` message; the driver's
+                    // per-round panic guard (or the caller) deals with it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect::<Vec<_>>()
         })
-        .expect("crossbeam scope failed");
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         for chunk in chunk_results {
             candidates.extend(chunk);
         }

@@ -86,7 +86,7 @@ mod tests {
         // Scrambled block-to-PE bijection leaves room for improvement.
         let nu = generators::random_permutation(16, seed ^ 1);
         let mapping = Mapping::from_partition(&part, &nu, 16);
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, seed);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, seed).unwrap();
         (ga, labeling, mapping)
     }
 
@@ -130,7 +130,8 @@ mod tests {
         let (ga, _, mapping) = labeled_instance(4);
         let topo = Topology::grid2d(4, 4);
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
-        let result = crate::enhance_mapping(&ga, &pcube, &mapping, crate::TimerConfig::new(5, 4));
+        let result =
+            crate::enhance_mapping(&ga, &pcube, &mapping, crate::TimerConfig::new(5, 4)).unwrap();
         let mut labeling = result.labeling.clone();
         let before = coco_plus(&ga, &labeling);
         let stats = polish(&ga, &mut labeling, true, 5);

@@ -11,6 +11,8 @@
 
 use tie_trace::{LogHistogram, PhaseTimes};
 
+use crate::error::StopReason;
+
 /// Summary of one `Timer::enhance` run: accept-gate verdict counts, the
 /// distributions of the per-round objective deltas, and a per-phase
 /// wall-clock breakdown.
@@ -37,6 +39,14 @@ pub struct RoundTelemetry {
     /// Accumulated wall-clock per pipeline phase across the whole run
     /// (including invalidated speculations — real work is counted).
     pub phases: PhaseTimes,
+    /// Speculative workers that panicked and were absorbed by the quarantine
+    /// re-run (see `docs/RESILIENCE.md`). Zero on every healthy run; like
+    /// `phases` it reports what *happened*, not the trajectory, so it is
+    /// excluded from [`RoundTelemetry::same_gate_trajectory`].
+    pub worker_panics: usize,
+    /// Why the run stopped offering rounds ([`StopReason::Completed`] unless
+    /// a deadline, cancellation, or the adaptive stopping rule cut it short).
+    pub stop_reason: StopReason,
 }
 
 impl RoundTelemetry {

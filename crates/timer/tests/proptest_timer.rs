@@ -44,7 +44,7 @@ proptest! {
     ) {
         let (ga, topo, mapping) = instance(n, topo_idx, seed);
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
-        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, seed));
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(nh, seed)).unwrap();
 
         // Balance preservation.
         let mut before = mapping.load_per_pe();
@@ -74,7 +74,7 @@ proptest! {
     fn labeling_encoding_roundtrip(n in 50..300usize, seed in 0..500u64, shuffle in 0..500u64) {
         let (ga, topo, mapping) = instance(n, (seed % 4) as usize, seed);
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
-        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, shuffle);
+        let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, shuffle).unwrap();
         prop_assert!(labeling.is_unique());
         prop_assert_eq!(labeling.to_mapping(), mapping.clone());
         prop_assert_eq!(coco(&ga, &labeling), {
@@ -133,13 +133,13 @@ proptest! {
     ) {
         let (ga, topo, mapping) = instance(n, topo_idx, seed);
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
-        let sequential = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(4, seed));
+        let sequential = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(4, seed)).unwrap();
         let batched = enhance_mapping(
             &ga,
             &pcube,
             &mapping,
             TimerConfig::new(4, seed).with_threads(threads).with_batch(batch),
-        );
+        ).unwrap();
         prop_assert_eq!(&batched.labeling.labels, &sequential.labeling.labels);
         prop_assert_eq!(batched.final_coco, sequential.final_coco);
         prop_assert_eq!(batched.hierarchies_accepted, sequential.hierarchies_accepted);
@@ -193,13 +193,53 @@ proptest! {
         );
     }
 
+    /// A deadline-stopped run degrades gracefully for any instance and any
+    /// deadline length: the result is a fully committed best-so-far labeling
+    /// (Coco never worse than the initial mapping's, load multiset
+    /// preserved, labels unique) and the stop reason is consistent with the
+    /// accounting — `DeadlineExceeded` runs committed at most NH rounds,
+    /// `Completed` runs saw every round.
+    #[test]
+    fn deadline_stop_degrades_gracefully(
+        n in 100..300usize,
+        topo_idx in 0..4usize,
+        seed in 0..100u64,
+        deadline_us in 1..2000u64,
+    ) {
+        let (ga, topo, mapping) = instance(n, topo_idx, seed);
+        let pcube = recognize_partial_cube(&topo.graph).unwrap();
+        let nh = 4;
+        let cfg = TimerConfig::new(nh, seed)
+            .with_deadline(std::time::Duration::from_micros(deadline_us));
+        let result = enhance_mapping(&ga, &pcube, &mapping, cfg).unwrap();
+
+        match result.stop_reason {
+            tie_timer::StopReason::DeadlineExceeded => {
+                prop_assert!(result.telemetry.rounds() <= nh);
+            }
+            tie_timer::StopReason::Completed => {
+                prop_assert_eq!(result.telemetry.rounds(), nh);
+            }
+            other => prop_assert!(false, "unexpected stop reason {:?}", other),
+        }
+        prop_assert!(result.final_coco <= result.initial_coco);
+        prop_assert!(result.final_coco_plus <= result.initial_coco_plus);
+        prop_assert!(result.labeling.is_unique());
+        let mut before = mapping.load_per_pe();
+        let mut after = result.mapping.load_per_pe();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(result.mapping.num_pes(), topo.num_pes());
+    }
+
     /// The polish pass (refinement extension) preserves the label set and
     /// never worsens the objective, for any instance and sweep count.
     #[test]
     fn polish_invariants(n in 100..300usize, seed in 0..100u64, sweeps in 1..4usize) {
         let (ga, topo, mapping) = instance(n, (seed % 4) as usize, seed);
         let pcube = recognize_partial_cube(&topo.graph).unwrap();
-        let mut labeling = Labeling::from_mapping(&ga, &pcube, &mapping, seed);
+        let mut labeling = Labeling::from_mapping(&ga, &pcube, &mapping, seed).unwrap();
         let set_before = labeling.sorted_label_set();
         let obj_before = tie_timer::coco_plus(&ga, &labeling);
         tie_timer::polish(&ga, &mut labeling, true, sweeps);

@@ -32,6 +32,9 @@ pub enum RecognitionError {
     DistanceMismatch(NodeId, NodeId),
     /// The isometric dimension exceeds 64 and does not fit in a `u64` label.
     DimensionTooLarge(usize),
+    /// A labeling was verified against a graph with a different vertex
+    /// count (labeling size, graph size).
+    SizeMismatch(usize, usize),
 }
 
 impl std::fmt::Display for RecognitionError {
@@ -55,6 +58,12 @@ impl std::fmt::Display for RecognitionError {
                 write!(
                     f,
                     "isometric dimension {d} exceeds the supported maximum of 64"
+                )
+            }
+            RecognitionError::SizeMismatch(labels, vertices) => {
+                write!(
+                    f,
+                    "labeling covers {labels} PEs but the graph has {vertices} vertices"
                 )
             }
         }
@@ -91,6 +100,25 @@ impl PartialCubeLabeling {
     /// Number of PEs.
     pub fn num_pes(&self) -> usize {
         self.labels.len()
+    }
+
+    /// Verifies this labeling against the processor graph it claims to
+    /// describe: the PE count must match and Hamming distance between labels
+    /// must equal graph distance for every pair (the partial-cube property).
+    ///
+    /// `recognize_partial_cube` output always verifies against its input
+    /// graph; this check is for labelings that crossed a trust boundary —
+    /// deserialized, transformed, or paired with a graph they may not
+    /// belong to.
+    pub fn verify(&self, graph: &Graph) -> Result<(), RecognitionError> {
+        if self.labels.len() != graph.num_vertices() {
+            return Err(RecognitionError::SizeMismatch(
+                self.labels.len(),
+                graph.num_vertices(),
+            ));
+        }
+        let dist = all_pairs_distances(graph);
+        verify_labeling(&self.labels, &dist)
     }
 }
 

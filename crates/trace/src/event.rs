@@ -86,6 +86,11 @@ pub enum TraceEvent {
         rejected: usize,
         /// Kept rounds that were equal-objective ties.
         ties: usize,
+        /// Why the run stopped (`StopReason::name()`: "completed",
+        /// "deadline_exceeded", "cancelled", "consecutive_rejections").
+        stop_reason: &'static str,
+        /// Speculative worker panics absorbed by the quarantine re-run.
+        worker_panics: usize,
     },
 }
 
@@ -190,11 +195,14 @@ impl TraceEvent {
                 accepted,
                 rejected,
                 ties,
+                stop_reason,
+                worker_panics,
             } => {
                 let _ = write!(
                     s,
                     ", \"final_coco\": {final_coco}, \"final_div\": {final_div}, \
-                     \"accepted\": {accepted}, \"rejected\": {rejected}, \"ties\": {ties}"
+                     \"accepted\": {accepted}, \"rejected\": {rejected}, \"ties\": {ties}, \
+                     \"stop_reason\": \"{stop_reason}\", \"worker_panics\": {worker_panics}"
                 );
             }
         }
@@ -277,12 +285,18 @@ impl TraceEvent {
                 accepted,
                 rejected,
                 ties,
+                stop_reason,
+                worker_panics,
             } => {
                 let _ = write!(
                     s,
                     "run end: Coco={final_coco} Div={final_div} \
-                     accepted={accepted} (ties {ties}) rejected={rejected}"
+                     accepted={accepted} (ties {ties}) rejected={rejected} \
+                     stop={stop_reason}"
                 );
+                if *worker_panics > 0 {
+                    let _ = write!(s, " worker_panics={worker_panics}");
+                }
             }
         }
         s
@@ -336,6 +350,8 @@ mod tests {
                 accepted: 0,
                 rejected: 40,
                 ties: 0,
+                stop_reason: "completed",
+                worker_panics: 0,
             },
         ]
     }

@@ -193,6 +193,8 @@ mod tests {
             accepted: 0,
             rejected: 0,
             ties: 0,
+            stop_reason: "completed",
+            worker_panics: 0,
         });
         assert_eq!(format!("{h:?}"), "TraceHandle(off)");
     }

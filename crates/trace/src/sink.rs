@@ -139,6 +139,8 @@ mod tests {
                 accepted: 0,
                 rejected: 2,
                 ties: 0,
+                stop_reason: "completed",
+                worker_panics: 0,
             });
         }
         let content = std::fs::read_to_string(&path).unwrap();

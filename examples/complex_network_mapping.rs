@@ -35,7 +35,7 @@ fn main() {
         "initial mapping", "Coco before", "Coco after", "impr.", "Cut before", "Cut after"
     );
     for case in ExperimentCase::all() {
-        let r = run_case(&ga, &topo, case, &config);
+        let r = run_case(&ga, &topo, case, &config).unwrap();
         println!(
             "{:<24} {:>12} {:>12} {:>8.1}% {:>12} {:>12}",
             case.name(),

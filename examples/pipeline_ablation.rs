@@ -42,7 +42,7 @@ fn main() {
 
     let run = |label: &str, cfg: TimerConfig| {
         let t = Instant::now();
-        let r = enhance_mapping(&ga, &pcube, &initial, cfg);
+        let r = enhance_mapping(&ga, &pcube, &initial, cfg).unwrap();
         let secs = t.elapsed().as_secs_f64();
         println!(
             "{:<44} {:>12} {:>8.1}% {:>9.2}",
@@ -68,7 +68,7 @@ fn main() {
     // polishing pass that swaps arbitrary labels, not just single digits.
     {
         let t = Instant::now();
-        let r = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 1));
+        let r = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 1)).unwrap();
         let mut labeling = r.labeling.clone();
         let stats = tie_timer::polish(&ga, &mut labeling, true, 3);
         let polished_coco = coco(&ga, &topo.graph, &labeling.to_mapping());

@@ -39,7 +39,7 @@ fn main() {
     let initial = identity_mapping(&part, topo.num_pes());
 
     // 4. Enhance the mapping with TIMER (10 hierarchies are usually enough).
-    let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 7));
+    let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 7)).unwrap();
 
     // 5. Compare the mappings.
     let before = evaluate(&ga, &topo.graph, &initial);

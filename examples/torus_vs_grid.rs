@@ -28,7 +28,7 @@ fn main() {
         let mut quotients = Vec::new();
         for spec in &networks {
             let ga = spec.build(Scale::Tiny);
-            let r = run_case(&ga, topo, ExperimentCase::C3GreedyAllC, &config);
+            let r = run_case(&ga, topo, ExperimentCase::C3GreedyAllC, &config).unwrap();
             quotients.push(r.coco_quotient());
         }
         let gm = geometric_mean(&quotients).expect("no networks were swept");

@@ -27,7 +27,7 @@ fn mean_quotients(case: ExperimentCase, topo: &Topology, nh: usize) -> (f64, f64
     let mut cut_q = Vec::new();
     for spec in quick_networks().iter().take(3) {
         let ga = spec.build(Scale::Tiny);
-        let r = run_case(&ga, topo, case, &config);
+        let r = run_case(&ga, topo, case, &config).unwrap();
         coco_q.push(r.coco_quotient());
         cut_q.push(r.cut_quotient());
     }
@@ -90,7 +90,7 @@ fn timer_runtime_is_comparable_to_partitioning() {
         ..Default::default()
     };
     let start = Instant::now();
-    let r = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
+    let r = run_case(&ga, &topo, ExperimentCase::C2Identity, &config).unwrap();
     let _total = start.elapsed();
     let ratio = r.timer_time.as_secs_f64() / r.partition_time.as_secs_f64().max(1e-6);
     assert!(
@@ -114,8 +114,8 @@ fn more_hierarchies_help_or_tie() {
         seed: SUITE_SEED,
         ..Default::default()
     };
-    let few = run_case(&ga, &topo, ExperimentCase::C2Identity, &cfg_few);
-    let many = run_case(&ga, &topo, ExperimentCase::C2Identity, &cfg_many);
+    let few = run_case(&ga, &topo, ExperimentCase::C2Identity, &cfg_few).unwrap();
+    let many = run_case(&ga, &topo, ExperimentCase::C2Identity, &cfg_many).unwrap();
     // Same seed, more rounds: the accepted objective can only improve.
     assert!(many.enhanced.coco as f64 <= few.enhanced.coco as f64 * 1.02);
 }
@@ -130,8 +130,8 @@ fn experiments_are_deterministic_in_the_config_seed() {
         seed: SUITE_SEED,
         ..Default::default()
     };
-    let a = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
-    let b = run_case(&ga, &topo, ExperimentCase::C2Identity, &config);
+    let a = run_case(&ga, &topo, ExperimentCase::C2Identity, &config).unwrap();
+    let b = run_case(&ga, &topo, ExperimentCase::C2Identity, &config).unwrap();
     assert_eq!(a.initial.coco, b.initial.coco);
     assert_eq!(a.enhanced.coco, b.enhanced.coco);
     assert_eq!(a.enhanced.edge_cut, b.enhanced.edge_cut);
@@ -162,14 +162,15 @@ fn batched_enhance_is_byte_identical_across_thread_counts() {
             let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), SUITE_SEED));
             let mapping = identity_mapping(&part, topo.num_pes());
             let sequential =
-                enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, SUITE_SEED));
+                enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, SUITE_SEED)).unwrap();
             for threads in [2usize, 4] {
                 let batched = enhance_mapping(
                     &ga,
                     &pcube,
                     &mapping,
                     TimerConfig::new(8, SUITE_SEED).with_threads(threads),
-                );
+                )
+                .unwrap();
                 assert_eq!(
                     batched.labeling.labels, sequential.labeling.labels,
                     "{} × {}: labels diverged at {threads} threads",
@@ -207,7 +208,7 @@ fn enhance_never_worsens_coco_plus_on_4x4_torus() {
         let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), seed));
         let scramble = tie_graph::generators::random_permutation(topo.num_pes(), seed);
         let mapping = Mapping::from_partition(&part, &scramble, topo.num_pes());
-        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, seed));
+        let result = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(8, seed)).unwrap();
         assert!(
             result.final_coco_plus <= result.initial_coco_plus,
             "{}: Coco+ worsened {} -> {}",

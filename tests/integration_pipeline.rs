@@ -31,7 +31,7 @@ fn full_pipeline_c2_identity() {
     );
 
     let initial = identity_mapping(&part, topo.num_pes());
-    let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 1));
+    let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 1)).unwrap();
 
     // Label-based Coco agrees with the metric crate's distance-based Coco.
     assert_eq!(result.final_coco, coco(&ga, &topo.graph, &result.mapping));
@@ -65,7 +65,7 @@ fn every_initial_mapping_strategy_composes_with_timer() {
     ];
     for (name, initial) in candidates {
         let before = evaluate(&ga, &topo.graph, &initial);
-        let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(8, 3));
+        let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(8, 3)).unwrap();
         let after = evaluate(&ga, &topo.graph, &result.mapping);
         // Coco+ never worsens; Coco itself stays within a few percent and
         // typically improves.
@@ -91,7 +91,7 @@ fn timer_on_all_small_topologies() {
             recognize_partial_cube(&topo.graph).unwrap_or_else(|e| panic!("{}: {e}", topo.name));
         let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 7));
         let initial = identity_mapping(&part, topo.num_pes());
-        let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(5, 7));
+        let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(5, 7)).unwrap();
         assert!(
             result.final_coco_plus <= result.initial_coco_plus,
             "{}",
@@ -122,8 +122,8 @@ fn run_case_with_speculative_threads_matches_sequential() {
         threads: 4,
         ..sequential_cfg.clone()
     };
-    let a = run_case(&ga, &topo, ExperimentCase::C2Identity, &sequential_cfg);
-    let b = run_case(&ga, &topo, ExperimentCase::C2Identity, &threaded_cfg);
+    let a = run_case(&ga, &topo, ExperimentCase::C2Identity, &sequential_cfg).unwrap();
+    let b = run_case(&ga, &topo, ExperimentCase::C2Identity, &threaded_cfg).unwrap();
     assert_eq!(a.enhanced.coco, b.enhanced.coco);
     assert_eq!(a.enhanced.edge_cut, b.enhanced.edge_cut);
     assert_eq!(a.hierarchies_accepted, b.hierarchies_accepted);
@@ -135,7 +135,7 @@ fn labeling_round_trip_respects_mapping_and_distances() {
     let pcube = recognize_partial_cube(&topo.graph).unwrap();
     let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 9));
     let mapping = identity_mapping(&part, topo.num_pes());
-    let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 11);
+    let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 11).unwrap();
     // Label-derived Coco equals distance-based Coco (requirement 2, Sec. 4).
     assert_eq!(label_coco(&ga, &labeling), coco(&ga, &topo.graph, &mapping));
     // Labels are unique (requirement 3) and encode µ (requirement 1).
@@ -157,7 +157,7 @@ fn edge_cut_and_coco_relate_sanely_across_pipeline() {
     let pcube = recognize_partial_cube(&topo.graph).unwrap();
     let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 4));
     let initial = identity_mapping(&part, topo.num_pes());
-    let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 4));
+    let result = enhance_mapping(&ga, &pcube, &initial, TimerConfig::new(10, 4)).unwrap();
     // Coco >= edge cut always (every cut edge costs at least one hop).
     assert!(coco(&ga, &topo.graph, &result.mapping) >= edge_cut(&ga, &result.mapping));
     // The partition edge cut equals the mapping edge cut for the identity

@@ -26,7 +26,7 @@ fn run_with(trace: TraceHandle, threads: usize) -> TimerResult {
     let cfg = TimerConfig::new(NH, 1)
         .with_threads(threads)
         .with_trace(trace);
-    enhance_mapping(&ga, &pcube, &initial, cfg)
+    enhance_mapping(&ga, &pcube, &initial, cfg).unwrap()
 }
 
 /// Minimal structural check of one JSONL line without a JSON parser: it is
