@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the sort-based contraction kernel.
+//!
+//! `contract_level` is TIMER's hot path: at the medium scale it used to eat
+//! ~80 % of the wall-clock through per-level `HashMap` allocation. These
+//! benches time one contraction in isolation — both the allocating
+//! convenience wrapper and the scratch-reusing kernel the driver actually
+//! runs — so the kernel can never silently regress unbenchmarked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tie_bench::workloads::{paper_networks, Scale};
+use tie_mapping::identity_mapping;
+use tie_partition::{partition, PartitionConfig};
+use tie_timer::hierarchy::{contract_level, contract_level_with, HierarchyScratch};
+use tie_timer::Labeling;
+use tie_topology::{recognize_partial_cube, Topology};
+
+/// A realistic (graph, labels) contraction input: PGPgiantcompo mapped onto
+/// grid8x8, labelled exactly as the driver labels its finest level.
+fn contract_instance(scale: Scale) -> (tie_graph::Graph, Vec<u64>) {
+    let spec = paper_networks()
+        .into_iter()
+        .find(|s| s.name == "PGPgiantcompo")
+        .unwrap();
+    let ga = spec.build(scale);
+    let topo = Topology::grid2d(8, 8);
+    let pcube = recognize_partial_cube(&topo.graph).unwrap();
+    let part = partition(&ga, &PartitionConfig::new(topo.num_pes(), 1));
+    let mapping = identity_mapping(&part, topo.num_pes());
+    let labeling = Labeling::from_mapping(&ga, &pcube, &mapping, 1).unwrap();
+    let labels = labeling.labels.clone();
+    (ga, labels)
+}
+
+/// One contraction level through the allocating convenience wrapper.
+fn contract_allocating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract_level_allocating");
+    group.sample_size(10);
+    for scale in [Scale::Tiny, Scale::Small, Scale::Medium] {
+        let (ga, labels) = contract_instance(scale);
+        let id = BenchmarkId::from_parameter(format!("{scale:?}"));
+        group.bench_with_input(id, &(ga, labels), |b, (ga, labels)| {
+            b.iter(|| contract_level(ga, labels));
+        });
+    }
+    group.finish();
+}
+
+/// The same contraction with a warm `HierarchyScratch`, as the driver runs
+/// it: after the first call every buffer is already sized, so this is the
+/// steady-state per-level cost inside a hierarchy round.
+fn contract_scratch_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract_level_scratch_reuse");
+    group.sample_size(10);
+    for scale in [Scale::Tiny, Scale::Small, Scale::Medium] {
+        let (ga, labels) = contract_instance(scale);
+        let id = BenchmarkId::from_parameter(format!("{scale:?}"));
+        group.bench_with_input(id, &(ga, labels), |b, (ga, labels)| {
+            let mut scratch = HierarchyScratch::default();
+            contract_level_with(ga, labels, &mut scratch); // warm the buffers
+            b.iter(|| contract_level_with(ga, labels, &mut scratch));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, contract_allocating, contract_scratch_reuse);
+criterion_main!(benches);

@@ -7,13 +7,16 @@
 //!
 //! Usage:
 //!   cargo run -p tie-bench --bin bench_timer --release -- \
-//!       [--out BENCH_timer.json] [--nh 40] [--quick] \
+//!       [--out BENCH_timer.json] [--nh 40] [--reps 1] [--quick] \
 //!       [--trace-out trace.jsonl] [--trace-level gate|phase|debug]
 //!
 //! `--quick` restricts to the tiny scale with a small NH (for CI smoke runs).
-//! `--trace-out` streams flight-recorder events (JSONL; `-` = human-readable
-//! stderr) from every run; independent of the gate telemetry that is always
-//! embedded in the JSON artifact.
+//! `--reps N` repeats every cell N times and reports min/median wall-clock,
+//! so single-shot noise cannot masquerade as a perf claim; the trajectory
+//! (final Coco, gate telemetry) must be identical across repetitions and the
+//! harness asserts it. `--trace-out` streams flight-recorder events (JSONL;
+//! `-` = human-readable stderr) from every run; independent of the gate
+//! telemetry that is always embedded in the JSON artifact.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -32,7 +35,7 @@ use tie_trace::{TraceHandle, TraceLevel};
 const NETWORK: &str = "PGPgiantcompo";
 const SEED: u64 = 1;
 
-const USAGE: &str = "usage: bench_timer [--out PATH] [--nh N] [--quick] \
+const USAGE: &str = "usage: bench_timer [--out PATH] [--nh N] [--reps N] [--quick] \
      [--trace-out PATH|-] [--trace-level off|gate|phase|debug]  \
      (env: TIE_FAULTS=<fault spec> arms fault injection)";
 
@@ -76,6 +79,13 @@ fn run() -> Result<(), String> {
                 40
             }
         }
+    };
+    let reps: usize = match flag_value("--reps") {
+        Some(v) => match v.parse() {
+            Ok(r) if r >= 1 => r,
+            _ => return Err(format!("--reps needs a positive number, got {v:?}")),
+        },
+        None => 1,
     };
     let scales: &[Scale] = if quick {
         &[Scale::Tiny]
@@ -134,17 +144,42 @@ fn run() -> Result<(), String> {
                      thread(s) — wall-clock for this row measures contention"
                 );
             }
-            let cfg = TimerConfig::new(nh, SEED)
-                .with_threads(threads)
-                .with_trace(trace.clone())
-                .with_faults(faults.clone());
-            let effective_batch = cfg.effective_batch();
-            let start = Instant::now();
-            let result = enhance_mapping(&ga, &pcube, &mapping, cfg)
-                .map_err(|e| format!("enhance failed at scale {}: {e}", scale_name(scale)))?;
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            // Repeat the cell: the trajectory is deterministic, so every
+            // repetition must reproduce the first one exactly — only the
+            // wall-clock varies, and min/median tame its noise.
+            let mut walls_ms: Vec<f64> = Vec::with_capacity(reps);
+            let mut result = None;
+            let mut effective_batch = 0;
+            for rep in 0..reps {
+                let cfg = TimerConfig::new(nh, SEED)
+                    .with_threads(threads)
+                    .with_trace(trace.clone())
+                    .with_faults(faults.clone());
+                effective_batch = cfg.effective_batch();
+                let start = Instant::now();
+                let rep_result = enhance_mapping(&ga, &pcube, &mapping, cfg)
+                    .map_err(|e| format!("enhance failed at scale {}: {e}", scale_name(scale)))?;
+                walls_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                match &result {
+                    None => result = Some(rep_result),
+                    Some(first) => assert_eq!(
+                        rep_result.final_coco, first.final_coco,
+                        "rep {rep} diverged from rep 0 at the same cell"
+                    ),
+                }
+            }
+            let result = result.expect("reps >= 1 is enforced at parse time");
+            walls_ms.sort_by(|a, b| a.total_cmp(b));
+            let wall_ms_min = walls_ms[0];
+            let wall_ms = if walls_ms.len() % 2 == 1 {
+                walls_ms[walls_ms.len() / 2]
+            } else {
+                let hi = walls_ms.len() / 2;
+                (walls_ms[hi - 1] + walls_ms[hi]) / 2.0
+            };
             eprintln!(
-                "  threads {threads}: {wall_ms:.1} ms, Coco {} -> {} ({} kept rounds{})",
+                "  threads {threads}: median {wall_ms:.1} ms, min {wall_ms_min:.1} ms \
+                 over {reps} rep(s), Coco {} -> {} ({} kept rounds{})",
                 result.initial_coco,
                 result.final_coco,
                 result.hierarchies_accepted,
@@ -180,6 +215,7 @@ fn run() -> Result<(), String> {
                 threads,
                 batch: effective_batch,
                 wall_ms,
+                wall_ms_min,
                 initial_coco: result.initial_coco,
                 final_coco: result.final_coco,
                 accepted: result.hierarchies_accepted,
@@ -194,6 +230,7 @@ fn run() -> Result<(), String> {
 
     let json = format_bench_json(
         nh,
+        reps,
         NETWORK,
         &topo.name,
         hardware_threads,

@@ -233,8 +233,11 @@ pub struct TimerBenchEntry {
     pub threads: usize,
     /// Effective batch depth (the resolved value, not the 0 sentinel).
     pub batch: usize,
-    /// Wall-clock of the `enhance` call in milliseconds.
+    /// Median wall-clock of the `enhance` call across repetitions, in
+    /// milliseconds (with `--reps 1` this is the single measurement).
     pub wall_ms: f64,
+    /// Minimum wall-clock across repetitions, in milliseconds.
+    pub wall_ms_min: f64,
     /// Coco of the initial mapping.
     pub initial_coco: u64,
     /// Coco of the enhanced mapping (byte-identical across thread counts).
@@ -273,9 +276,12 @@ fn format_histogram_json(hist: &LogHistogram) -> String {
 ///
 /// `telemetry` carries one accept-gate record per scale (gate outcomes are
 /// byte-identical across thread counts, so one record covers all rows of a
-/// scale; the phase breakdown comes from that scale's threads = 1 run).
+/// scale; the phase breakdown comes from that scale's threads = 1 run, and
+/// with `reps > 1` from that run's first repetition).
+#[allow(clippy::too_many_arguments)] // flat artifact header, one field each
 pub fn format_bench_json(
     nh: usize,
+    reps: usize,
     network: &str,
     topology: &str,
     hardware_threads: usize,
@@ -286,6 +292,7 @@ pub fn format_bench_json(
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"timer\",");
     let _ = writeln!(out, "  \"nh\": {nh},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
     let _ = writeln!(out, "  \"network\": \"{network}\",");
     let _ = writeln!(out, "  \"topology\": \"{topology}\",");
     // Wall-clock context: with hardware_threads = 1 the batched rows can at
@@ -297,12 +304,13 @@ pub fn format_bench_json(
         let _ = writeln!(
             out,
             "    {{\"scale\": \"{}\", \"threads\": {}, \"batch\": {}, \"wall_ms\": {:.3}, \
-             \"initial_coco\": {}, \"final_coco\": {}, \"accepted\": {}, \"total_swaps\": {}, \
-             \"threads_oversubscribed\": {}}}{}",
+             \"wall_ms_min\": {:.3}, \"initial_coco\": {}, \"final_coco\": {}, \
+             \"accepted\": {}, \"total_swaps\": {}, \"threads_oversubscribed\": {}}}{}",
             e.scale,
             e.threads,
             e.batch,
             e.wall_ms,
+            e.wall_ms_min,
             e.initial_coco,
             e.final_coco,
             e.accepted,
@@ -424,6 +432,7 @@ mod tests {
                 threads: 1,
                 batch: 1,
                 wall_ms: 12.3456,
+                wall_ms_min: 11.9,
                 initial_coco: 100,
                 final_coco: 80,
                 accepted: 3,
@@ -435,6 +444,7 @@ mod tests {
                 threads: 4,
                 batch: 4,
                 wall_ms: 4.0,
+                wall_ms_min: 3.5,
                 initial_coco: 100,
                 final_coco: 80,
                 accepted: 3,
@@ -450,7 +460,7 @@ mod tests {
         tel.phases.add(Phase::Sweep, 1234);
         tel.phases.add(Phase::DeltaScan, 56);
         let telemetry = vec![("tiny".to_string(), tel)];
-        let s = format_bench_json(10, "PGPgiantcompo", "grid8x8", 4, &entries, &telemetry);
+        let s = format_bench_json(10, 3, "PGPgiantcompo", "grid8x8", 4, &entries, &telemetry);
         // Structural sanity without a JSON parser: balanced braces/brackets,
         // exactly one trailing-comma-free list, and the key fields present.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
@@ -458,8 +468,10 @@ mod tests {
         assert!(!s.contains(",\n  ]"), "trailing comma before list close");
         assert!(s.contains("\"bench\": \"timer\""));
         assert!(s.contains("\"nh\": 10"));
+        assert!(s.contains("\"reps\": 3"));
         assert!(s.contains("\"hardware_threads\": 4"));
         assert!(s.contains("\"wall_ms\": 12.346"));
+        assert!(s.contains("\"wall_ms_min\": 11.900"));
         assert!(s.contains("\"threads\": 4"));
         assert!(s.contains("\"final_coco\": 80"));
         assert!(s.contains("\"threads_oversubscribed\": false"));

@@ -43,7 +43,7 @@ use tie_trace::{Phase, PhaseTimes, TraceEvent, TraceHandle};
 
 use crate::assemble::assemble_labels;
 use crate::error::{StopReason, TieError};
-use crate::hierarchy::build_hierarchy_traced;
+use crate::hierarchy::{build_hierarchy_traced, HierarchyScratch};
 use crate::labeling::Labeling;
 use crate::objective::{coco_and_div_for_labels, coco_div_delta, AcceptGate};
 use crate::telemetry::RoundTelemetry;
@@ -195,6 +195,17 @@ impl Timer {
         let mut worker_panics = 0usize;
         let mut consecutive_rejections = 0usize;
 
+        // One hierarchy scratch per worker slot, living for the whole run:
+        // worker k of every batch reuses slot k's sweep/contraction buffers,
+        // so the allocation set of the hot path is paid once per `enhance`
+        // call instead of once per level per round. Scratch contents never
+        // influence results (pinned by the contraction-equivalence proptest),
+        // so the byte-identity guarantee is untouched.
+        let mut scratches: Vec<HierarchyScratch> =
+            std::iter::repeat_with(HierarchyScratch::default)
+                .take(threads)
+                .collect();
+
         let mut next = 0usize;
         while next < perms.len() {
             // Graceful-degradation checks, once per batch boundary: the
@@ -220,6 +231,7 @@ impl Timer {
                     next,
                     trace,
                     faults,
+                    &mut scratches[0],
                 )]
             } else {
                 // Speculation: rounds next..next+b all start from the current
@@ -237,8 +249,9 @@ impl Timer {
                 let joined = thread::scope(|scope| {
                     let handles: Vec<(usize, _)> = perms[next..next + b]
                         .chunks(chunk)
+                        .zip(scratches.iter_mut())
                         .enumerate()
-                        .map(|(chunk_idx, chunk_perms)| {
+                        .map(|(chunk_idx, (chunk_perms, scratch))| {
                             let first_round = next + chunk_idx * chunk;
                             let handle = scope.spawn(move |_| {
                                 chunk_perms
@@ -255,6 +268,7 @@ impl Timer {
                                             first_round + i,
                                             trace,
                                             faults,
+                                            scratch,
                                         )
                                     })
                                     .collect::<Vec<_>>()
@@ -314,6 +328,7 @@ impl Timer {
                             round,
                             trace,
                             faults,
+                            &mut scratches[0],
                         ) {
                             Ok(outcome) => outcomes.push(outcome),
                             Err(message) => {
@@ -495,9 +510,16 @@ fn guarded_round(
     round: usize,
     trace: &TraceHandle,
     faults: &FaultHandle,
+    scratch: &mut HierarchyScratch,
 ) -> Result<RoundOutcome, String> {
+    // `scratch` crossing the unwind boundary is sound for the same reason the
+    // base state is: every scratch buffer is cleared/resized at the start of
+    // its next use, so no result ever depends on what a panicked round left
+    // behind in it.
     catch_unwind(AssertUnwindSafe(|| {
-        run_round(graph, base, perm, dim, p_mask, e_mask, round, trace, faults)
+        run_round(
+            graph, base, perm, dim, p_mask, e_mask, round, trace, faults, scratch,
+        )
     }))
     .map_err(|payload| panic_message(payload.as_ref()))
 }
@@ -534,6 +556,7 @@ fn run_round(
     round: usize,
     trace: &TraceHandle,
     faults: &FaultHandle,
+    scratch: &mut HierarchyScratch,
 ) -> RoundOutcome {
     // Chaos probe: with an armed fault plan this round panics here (inside
     // the caller's panic guard); with the default disabled handle it is a
@@ -564,6 +587,7 @@ fn run_round(
         1,
         Some(round),
         trace,
+        scratch,
     );
     // The hierarchy-build span contains the per-level sweep/contract spans.
     let build_us = build_start.elapsed().as_micros() as u64;

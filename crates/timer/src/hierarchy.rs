@@ -11,10 +11,10 @@
 //! oblivious to `Ga`'s own edge structure, which is exactly the diversity the
 //! TIMER search exploits.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
-use tie_graph::{Graph, GraphBuilder, NodeId};
+use tie_graph::contract::{contract_into, ContractScratch};
+use tie_graph::{Graph, NodeId};
 use tie_trace::{Phase, PhaseTimes, TraceEvent, TraceHandle, TraceLevel};
 
 use crate::objective::swap_delta;
@@ -127,49 +127,95 @@ pub fn sweep_with(
     swaps
 }
 
+/// Reusable buffers for a full hierarchy construction: the sweep's
+/// prefix-bucket pair search ([`SweepScratch`]), the sorted-deduped prefix
+/// array of the contraction, and the counting-sort buffers of the CSR
+/// contraction kernel ([`ContractScratch`]). One scratch serves all
+/// `dim − 1` levels of a hierarchy — and, threaded through the driver's
+/// speculative workers, all rounds a worker ever executes: buffers grow to
+/// the largest level once and are never reallocated again. Results never
+/// depend on leftover scratch contents.
+#[derive(Clone, Debug, Default)]
+pub struct HierarchyScratch {
+    /// Pair-search buffers shared by the sweeps.
+    sweep: SweepScratch,
+    /// Sorted, deduped label prefixes of the level being contracted.
+    prefixes: Vec<u64>,
+    /// Sorted label multiset of the current level. Sweeps only swap labels,
+    /// so the hierarchy loop sorts once per round and every contraction
+    /// derives its prefix array from this set in linear time.
+    sorted_set: Vec<u64>,
+    /// Counting-sort buffers of the CSR contraction kernel.
+    contract: ContractScratch,
+}
+
 /// Contracts every candidate pair (vertices sharing all but the last label
 /// digit) into a single coarse vertex and cuts the last digit off every
 /// label. Unpaired vertices are carried over unchanged (minus the digit).
+/// Allocating convenience wrapper around [`contract_level_with`].
 pub fn contract_level(graph: &Graph, labels: &[u64]) -> (Graph, Vec<u64>, Vec<NodeId>) {
+    contract_level_with(graph, labels, &mut HierarchyScratch::default())
+}
+
+/// [`contract_level`] with caller-provided scratch: the coarse vertex ids
+/// are the ranks of the distinct label prefixes (sorted prefix order, for
+/// determinism), found by binary search over the sorted-deduped prefix
+/// array; the coarse graph is built by the sort-based CSR kernel
+/// ([`contract_into`]) — no hash map anywhere on the path.
+pub fn contract_level_with(
+    graph: &Graph,
+    labels: &[u64],
+    scratch: &mut HierarchyScratch,
+) -> (Graph, Vec<u64>, Vec<NodeId>) {
+    scratch.sorted_set.clear();
+    scratch.sorted_set.extend_from_slice(labels);
+    scratch.sorted_set.sort_unstable();
+    contract_level_presorted(graph, labels, scratch)
+}
+
+/// [`contract_level_with`] for callers that already hold the sorted label
+/// multiset in `scratch.sorted_set` (the hierarchy loop: sweeps only swap
+/// labels, and each contraction's `coarse_labels` is the next level's set
+/// already sorted). Skips the per-level sort; everything else is identical.
+fn contract_level_presorted(
+    graph: &Graph,
+    labels: &[u64],
+    scratch: &mut HierarchyScratch,
+) -> (Graph, Vec<u64>, Vec<NodeId>) {
     let n = graph.num_vertices();
-    // Coarse vertex per distinct label prefix, in sorted prefix order for
-    // determinism.
-    let mut prefixes: Vec<u64> = labels.iter().map(|&l| l >> 1).collect();
-    prefixes.sort_unstable();
+    debug_assert!(
+        {
+            let mut set = labels.to_vec();
+            set.sort_unstable();
+            set == scratch.sorted_set
+        },
+        "sorted_set out of sync with the level's label multiset"
+    );
+    let prefixes = &mut scratch.prefixes;
+    prefixes.clear();
+    prefixes.extend(scratch.sorted_set.iter().map(|&l| l >> 1));
     prefixes.dedup();
-    let coarse_of_prefix: HashMap<u64, NodeId> = prefixes
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i as NodeId))
-        .collect();
 
     let mut fine_to_coarse = vec![0 as NodeId; n];
     for (v, &l) in labels.iter().enumerate() {
-        fine_to_coarse[v] = coarse_of_prefix[&(l >> 1)];
+        fine_to_coarse[v] = match prefixes.binary_search(&(l >> 1)) {
+            Ok(i) => i as NodeId,
+            // Unreachable: every prefix was inserted into the array above.
+            Err(_) => unreachable!("label prefix missing from its own prefix array"),
+        };
     }
-    let coarse_n = prefixes.len();
-    let coarse_labels: Vec<u64> = prefixes;
-
-    let mut builder = GraphBuilder::new(coarse_n);
-    let mut coarse_weights = vec![0u64; coarse_n];
-    for v in graph.vertices() {
-        coarse_weights[fine_to_coarse[v as usize] as usize] += graph.vertex_weight(v);
-    }
-    for (c, &w) in coarse_weights.iter().enumerate() {
-        builder.set_vertex_weight(c as NodeId, w);
-    }
-    // Distinct fine edges between the same coarse pair are coalesced by the
-    // builder (`GraphBuilder::add_edge` accumulates weights per normalized
-    // pair), so the coarse graph carries no parallel edges and every coarse
-    // weight is the sum of the fine weights it stands for — see the
-    // `contraction_coalesces_parallel_coarse_edges` test below.
-    for (u, v, w) in graph.edges() {
-        let (cu, cv) = (fine_to_coarse[u as usize], fine_to_coarse[v as usize]);
-        if cu != cv {
-            builder.add_edge(cu, cv, w);
-        }
-    }
-    (builder.build(), coarse_labels, fine_to_coarse)
+    let coarse_labels: Vec<u64> = prefixes.clone();
+    // The coarse level's label multiset *is* the (sorted) prefix array:
+    // keep `sorted_set` current so the next contraction skips its sort.
+    scratch.sorted_set.clear();
+    scratch.sorted_set.extend_from_slice(&coarse_labels);
+    let coarse_graph = contract_into(
+        graph,
+        &fine_to_coarse,
+        coarse_labels.len(),
+        &mut scratch.contract,
+    );
+    (coarse_graph, coarse_labels, fine_to_coarse)
 }
 
 /// Builds the full hierarchy for one permutation round: alternating swap
@@ -195,13 +241,18 @@ pub fn build_hierarchy(
         threads,
         None,
         &TraceHandle::off(),
+        &mut HierarchyScratch::default(),
     )
 }
 
-/// [`build_hierarchy`] with flight-recorder context: per-level sweep and
-/// contraction spans are emitted through `trace` (at `TraceLevel::Debug`)
-/// and tagged with `hierarchy_round` so concurrent speculated rounds stay
-/// distinguishable in the recording.
+/// [`build_hierarchy`] with flight-recorder context and caller-provided
+/// scratch: per-level sweep and contraction spans are emitted through
+/// `trace` (at `TraceLevel::Debug`) and tagged with `hierarchy_round` so
+/// concurrent speculated rounds stay distinguishable in the recording.
+/// `scratch` carries the sweep and contraction buffers across all levels —
+/// and, when the caller keeps it alive (as the driver's speculative workers
+/// do), across hierarchy rounds. The result never depends on what a
+/// previous run left in the scratch.
 #[allow(clippy::too_many_arguments)] // mirrors build_hierarchy + trace context
 pub fn build_hierarchy_traced(
     graph: &Graph,
@@ -212,15 +263,25 @@ pub fn build_hierarchy_traced(
     threads: usize,
     hierarchy_round: Option<usize>,
     trace: &TraceHandle,
+    scratch: &mut HierarchyScratch,
 ) -> HierarchyRun {
     let mut levels: Vec<Level> = Vec::new();
     let mut total_swaps = 0usize;
     let mut current_graph = graph.clone();
     let mut current_labels = labels;
-    let mut scratch = SweepScratch::default();
     let mut phases = PhaseTimes::default();
     // Cheap enough to collect always; only *emission* is gated on the level.
     let per_level = trace.enabled(TraceLevel::Debug);
+
+    // Seed the sorted label multiset once per hierarchy: sweeps only swap
+    // labels and every contraction leaves the next level's set behind
+    // sorted, so this is the only full label sort of the whole round. Timed
+    // as contract work — it exists purely to feed the contractions.
+    let t = Instant::now();
+    scratch.sorted_set.clear();
+    scratch.sorted_set.extend_from_slice(&current_labels);
+    scratch.sorted_set.sort_unstable();
+    phases.add(Phase::Contract, t.elapsed().as_micros() as u64);
 
     // Paper: for i = 2 .. dim_Ga - 1; sweep on G^{i-1}, contract into G^i.
     let rounds = dim.saturating_sub(2);
@@ -230,7 +291,13 @@ pub fn build_hierarchy_traced(
         total_swaps += if round == 0 && threads > 1 {
             parallel_sweep(&current_graph, &mut current_labels, pm, em, threads)
         } else {
-            sweep_with(&current_graph, &mut current_labels, pm, em, &mut scratch)
+            sweep_with(
+                &current_graph,
+                &mut current_labels,
+                pm,
+                em,
+                &mut scratch.sweep,
+            )
         };
         let sweep_us = t.elapsed().as_micros() as u64;
         phases.add(Phase::Sweep, sweep_us);
@@ -244,7 +311,7 @@ pub fn build_hierarchy_traced(
         }
         let t = Instant::now();
         let (coarse_graph, coarse_labels, fine_to_coarse) =
-            contract_level(&current_graph, &current_labels);
+            contract_level_presorted(&current_graph, &current_labels, scratch);
         let contract_us = t.elapsed().as_micros() as u64;
         phases.add(Phase::Contract, contract_us);
         if per_level {
@@ -280,7 +347,47 @@ pub fn build_hierarchy_traced(
 mod tests {
     use super::*;
     use crate::objective::objective_for_labels;
-    use tie_graph::generators;
+    use proptest::prelude::*;
+    use tie_graph::{generators, GraphBuilder};
+
+    /// The pre-kernel contraction path (prefix `HashMap` + `GraphBuilder`
+    /// edge coalescer), kept verbatim as the oracle the sort-based kernel is
+    /// pinned against: `contract_level` must reproduce this byte for byte.
+    fn contract_level_reference(graph: &Graph, labels: &[u64]) -> (Graph, Vec<u64>, Vec<NodeId>) {
+        use std::collections::HashMap;
+        let n = graph.num_vertices();
+        let mut prefixes: Vec<u64> = labels.iter().map(|&l| l >> 1).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        let coarse_of_prefix: HashMap<u64, NodeId> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as NodeId))
+            .collect();
+
+        let mut fine_to_coarse = vec![0 as NodeId; n];
+        for (v, &l) in labels.iter().enumerate() {
+            fine_to_coarse[v] = coarse_of_prefix[&(l >> 1)];
+        }
+        let coarse_n = prefixes.len();
+        let coarse_labels: Vec<u64> = prefixes;
+
+        let mut builder = GraphBuilder::new(coarse_n);
+        let mut coarse_weights = vec![0u64; coarse_n];
+        for v in graph.vertices() {
+            coarse_weights[fine_to_coarse[v as usize] as usize] += graph.vertex_weight(v);
+        }
+        for (c, &w) in coarse_weights.iter().enumerate() {
+            builder.set_vertex_weight(c as NodeId, w);
+        }
+        for (u, v, w) in graph.edges() {
+            let (cu, cv) = (fine_to_coarse[u as usize], fine_to_coarse[v as usize]);
+            if cu != cv {
+                builder.add_edge(cu, cv, w);
+            }
+        }
+        (builder.build(), coarse_labels, fine_to_coarse)
+    }
 
     /// A small instance with unique 4-digit labels on an 8-vertex graph.
     fn toy() -> (Graph, Vec<u64>) {
@@ -438,5 +545,73 @@ mod tests {
         assert_eq!(run.levels.len(), 1);
         assert_eq!(run.levels[0].labels, labels);
         assert_eq!(run.total_swaps, 0);
+    }
+
+    #[test]
+    fn contract_level_matches_reference_oracle_on_fixtures() {
+        let (g, labels) = toy();
+        assert_eq!(
+            contract_level(&g, &labels),
+            contract_level_reference(&g, &labels)
+        );
+        let g = generators::randomize_edge_weights(&generators::barabasi_albert(96, 3, 5), 4, 5);
+        let labels: Vec<u64> = (0..96u64).collect();
+        assert_eq!(
+            contract_level(&g, &labels),
+            contract_level_reference(&g, &labels)
+        );
+    }
+
+    #[test]
+    fn contract_scratch_reuse_is_stateless() {
+        let (g_a, labels_a) = toy();
+        let g_b = generators::randomize_edge_weights(&generators::barabasi_albert(64, 3, 2), 4, 3);
+        let labels_b: Vec<u64> = (0..64u64).rev().collect();
+        let mut scratch = HierarchyScratch::default();
+        let fresh_a = contract_level_with(&g_a, &labels_a, &mut scratch);
+        // Dirty the scratch with a larger instance, then redo the first one:
+        // the result must not depend on leftover scratch contents.
+        let fresh_b = contract_level_with(&g_b, &labels_b, &mut scratch);
+        assert_eq!(fresh_b, contract_level_reference(&g_b, &labels_b));
+        assert_eq!(contract_level_with(&g_a, &labels_a, &mut scratch), fresh_a);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// On random graphs × random labelings, the sort-based contraction
+        /// kernel's `(Graph, coarse_labels, fine_to_coarse)` triple is
+        /// identical to the old HashMap path (the `GraphBuilder` coalescer),
+        /// including the raw CSR arrays of the coarse graph — the invariant
+        /// the whole refactor is pinned by.
+        #[test]
+        fn contraction_kernel_equivalent_to_hashmap_reference(
+            n in 1..150usize,
+            m in 0..400usize,
+            dim in 2..8u32,
+            seed in 0..1000u64,
+            dirty_seed in 0..4u64,
+        ) {
+            let base = generators::erdos_renyi_gnm(n, m.min(n * (n - 1) / 2), seed);
+            let g = generators::randomize_edge_weights(&base, 7, seed ^ 0xc0ffee);
+            // Random labels over `dim` digits; duplicates are allowed (the
+            // contraction only groups by prefix, uniqueness is not required).
+            let labels: Vec<u64> = (0..n)
+                .map(|v| {
+                    let x = (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+                    (x >> 17) & ((1u64 << dim) - 1)
+                })
+                .collect();
+            let mut scratch = HierarchyScratch::default();
+            if dirty_seed > 0 {
+                // Pre-dirty the scratch with an unrelated contraction so the
+                // equivalence also covers reused buffers.
+                let other: Vec<u64> = (0..n as u64).map(|v| v ^ dirty_seed).collect();
+                let _ = contract_level_with(&g, &other, &mut scratch);
+            }
+            let kernel = contract_level_with(&g, &labels, &mut scratch);
+            let reference = contract_level_reference(&g, &labels);
+            prop_assert_eq!(kernel, reference);
+        }
     }
 }

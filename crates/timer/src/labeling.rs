@@ -8,8 +8,6 @@
 //! next `dim_p` bits, so truncating digits from the right (as the hierarchy
 //! contraction does) first consumes the extension and then the PE label.
 
-use std::collections::HashMap;
-
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -31,8 +29,9 @@ pub struct Labeling {
     pub dim_p: usize,
     /// Number of extension digits.
     pub ext_bits: usize,
-    /// PE id for every PE label (to convert labels back into a mapping).
-    pe_of_label: HashMap<u64, u32>,
+    /// PE id for every PE label, sorted by label for binary-search lookup
+    /// (to convert labels back into a mapping).
+    pe_of_label: Vec<(u64, u32)>,
     /// Number of PEs of the target machine.
     num_pes: usize,
 }
@@ -103,20 +102,20 @@ impl Labeling {
                 labels[v as usize] = (lp << ext_bits) | idx as u64;
             }
         }
-        let pe_of_label: HashMap<u64, u32> = pcube
+        let mut pe_of_label: Vec<(u64, u32)> = pcube
             .labels
             .iter()
             .enumerate()
             .map(|(pe, &l)| (l, pe as u32))
             .collect();
-        // A HashMap silently collapses duplicate keys, which would make
-        // `to_mapping` send two PEs' worth of vertices to one PE — reject
-        // the inconsistent labeling instead.
-        if pe_of_label.len() != num_pes {
+        pe_of_label.sort_unstable_by_key(|&(l, _)| l);
+        // A duplicate PE label would make `to_mapping` send two PEs' worth
+        // of vertices to one PE — reject the inconsistent labeling instead.
+        let distinct = num_pes - pe_of_label.windows(2).filter(|w| w[0].0 == w[1].0).count();
+        if distinct != num_pes {
             return Err(TieError::IncompatibleTopology(format!(
-                "PE labels are not pairwise distinct ({} labels for {num_pes} \
-                 PEs); the topology labeling is internally inconsistent",
-                pe_of_label.len()
+                "PE labels are not pairwise distinct ({distinct} labels for {num_pes} \
+                 PEs); the topology labeling is internally inconsistent"
             )));
         }
         Ok(Labeling {
@@ -174,7 +173,11 @@ impl Labeling {
 
     /// PE encoded in vertex `v`'s label.
     pub fn pe_of_vertex(&self, v: NodeId) -> u32 {
-        self.pe_of_label[&self.lp_part(v)]
+        let lp = self.lp_part(v);
+        match self.pe_of_label.binary_search_by_key(&lp, |&(l, _)| l) {
+            Ok(i) => self.pe_of_label[i].1,
+            Err(_) => panic!("label prefix {lp:#b} does not name a PE"),
+        }
     }
 
     /// Converts the labeling back into a mapping `µ : Va -> Vp`.
