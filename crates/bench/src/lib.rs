@@ -18,6 +18,7 @@
 //! The original evaluation uses 15 real complex networks; those are replaced
 //! by seeded synthetic networks of the same structural family (see
 //! [`workloads`] and DESIGN.md).
+#![forbid(unsafe_code)]
 
 pub mod experiment;
 pub mod harness;

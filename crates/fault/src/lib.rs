@@ -24,6 +24,8 @@
 //! [`FaultHandle::from_env`]; libraries never read the environment — they
 //! only probe the handle they were given, so injection is always explicit
 //! and seeded, never ambient.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -37,6 +39,13 @@ pub const FAULTS_ENV_VAR: &str = "TIE_FAULTS";
 /// Prefix of every injected panic payload, so panic hooks and tests can
 /// distinguish injected faults from real bugs.
 pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+/// The fixed vocabulary of fault-injection sites: every `delay`/`with_delay`
+/// site name used anywhere in the workspace must come from this list, which
+/// `tie-lint`'s `registered-sites` rule enforces statically. The first three
+/// are the delay probes in `tie-timer`'s driver; `io` is probed by
+/// [`FaultHandle::io_fault`] before every counted reader operation.
+pub const SITES: &[&str] = &["hierarchy_build", "assemble", "delta_scan", "io"];
 
 /// A deterministic fault schedule. Build one with the combinators below or
 /// parse the `TIE_FAULTS` grammar with [`FaultPlan::parse`]; activate it by
@@ -108,7 +117,7 @@ impl FaultPlan {
     }
 
     /// Arms an artificial delay of `delay` at every visit of `site`
-    /// (sites: `round`, `assemble`, `scan`, `commit`, `io`).
+    /// (the registered sites are listed in [`SITES`]).
     pub fn with_delay(mut self, site: &str, delay: Duration) -> Self {
         self.delays.insert(site.to_string(), delay);
         self
@@ -264,6 +273,7 @@ impl FaultHandle {
         };
         if fire {
             inner.panics_fired.fetch_add(1, Ordering::Relaxed);
+            // tie-lint: allow(no-panic-paths) — this panic IS the injected fault; callers opt in via TIE_FAULTS
             panic!("{INJECTED_PANIC_PREFIX} worker panic at round {round}");
         }
     }
@@ -311,6 +321,15 @@ impl FaultHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn site_vocabulary_is_sorted_and_distinct() {
+        let mut sorted = SITES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), SITES.len());
+        assert!(SITES.contains(&"io"));
+    }
 
     #[test]
     fn disabled_handle_is_inert() {

@@ -72,7 +72,10 @@ impl BucketQueue {
         bucket as Gain - self.max_gain
     }
 
-    /// Inserts `item` with the given gain. Panics if already present.
+    /// Inserts `item` with the given gain.
+    ///
+    /// # Panics
+    /// Panics if `item` is already present.
     pub fn insert(&mut self, item: u32, gain: Gain) {
         assert!(!self.contains(item), "item {item} already in bucket queue");
         let b = self.bucket_index(gain);
@@ -102,7 +105,10 @@ impl BucketQueue {
         true
     }
 
-    /// Updates the gain of `item` (which must be present).
+    /// Updates the gain of `item`.
+    ///
+    /// # Panics
+    /// Panics if `item` is not present.
     pub fn update_gain(&mut self, item: u32, new_gain: Gain) {
         assert!(self.contains(item), "item {item} not in bucket queue");
         self.remove(item);
@@ -119,7 +125,8 @@ impl BucketQueue {
             return None;
         }
         let b = self.max_bucket_hint - 1;
-        let item = *self.buckets[b].last().unwrap();
+        // The hint loop above guarantees bucket `b` is non-empty.
+        let item = *self.buckets[b].last()?;
         Some((item, self.gain_of_bucket(b)))
     }
 

@@ -1,6 +1,6 @@
 //! Incremental graph builder with deduplication of parallel edges.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::csr::{Graph, NodeId, Weight};
 
@@ -13,8 +13,10 @@ use crate::csr::{Graph, NodeId, Weight};
 #[derive(Clone, Debug)]
 pub struct GraphBuilder {
     n: usize,
-    /// Edge weight per normalized (min, max) vertex pair.
-    edges: HashMap<(NodeId, NodeId), Weight>,
+    /// Edge weight per normalized (min, max) vertex pair. A `BTreeMap` so
+    /// that iteration during [`GraphBuilder::build`] is key-sorted — the
+    /// CSR layout never depends on insertion or hash order.
+    edges: BTreeMap<(NodeId, NodeId), Weight>,
     vwgt: Vec<Weight>,
 }
 
@@ -23,7 +25,7 @@ impl GraphBuilder {
     pub fn new(n: usize) -> Self {
         GraphBuilder {
             n,
-            edges: HashMap::new(),
+            edges: BTreeMap::new(),
             vwgt: vec![1; n],
         }
     }
@@ -83,10 +85,9 @@ impl GraphBuilder {
         let mut adjncy = vec![0 as NodeId; total_arcs];
         let mut adjwgt = vec![0 as Weight; total_arcs];
         let mut cursor = xadj.clone();
-        // Deterministic order: insert edges sorted by key.
-        let mut sorted: Vec<_> = self.edges.into_iter().collect();
-        sorted.sort_unstable_by_key(|&(k, _)| k);
-        for ((u, v), w) in sorted {
+        // BTreeMap iteration is already key-sorted, so insertion order here
+        // is deterministic without an extra collect-and-sort pass.
+        for ((u, v), w) in self.edges {
             let (ui, vi) = (u as usize, v as usize);
             adjncy[cursor[ui]] = v;
             adjwgt[cursor[ui]] = w;

@@ -51,11 +51,7 @@ impl Graph {
             adjwgt.len(),
             "edge weight array length mismatch"
         );
-        assert_eq!(
-            *xadj.last().unwrap(),
-            adjncy.len(),
-            "last offset must equal arc count"
-        );
+        assert_eq!(xadj[n], adjncy.len(), "last offset must equal arc count");
         for w in xadj.windows(2) {
             assert!(w[0] <= w[1], "xadj offsets must be non-decreasing");
         }

@@ -144,6 +144,9 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
 /// and attaches each new vertex to `m_attach` existing vertices with
 /// probability proportional to their degree. Produces heavy-tailed degree
 /// distributions akin to citation and social networks.
+///
+/// # Panics
+/// Panics if `m_attach` is zero.
 pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
     assert!(m_attach >= 1, "attachment count must be at least 1");
     let m_attach = m_attach.min(n.saturating_sub(1)).max(1);
@@ -186,6 +189,9 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
 /// Watts–Strogatz small-world graph: a ring lattice where every vertex is
 /// connected to its `k` nearest neighbours, with each edge rewired with
 /// probability `beta`.
+///
+/// # Panics
+/// Panics if `k` is odd or `k >= n`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
     assert!(k.is_multiple_of(2), "watts_strogatz requires even k");
     assert!(k < n, "k must be smaller than n");
@@ -217,6 +223,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
 /// `(a, b, c, d)`, `a + b + c + d = 1`. Produces skewed, scale-free-like
 /// graphs similar to web and social networks. `scale` is log2 of the vertex
 /// count; `edge_factor` is the average degree / 2.
+///
+/// # Panics
+/// Panics if the four probabilities do not sum to 1.
 pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
     let (a, b_p, c, d) = probs;
     let total = a + b_p + c + d;
@@ -266,6 +275,9 @@ pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u
 /// Random geometric-ish community graph: `communities` dense clusters joined
 /// by a sparse random backbone. Used as a stand-in for networks with strong
 /// community structure (e.g. collaboration networks).
+///
+/// # Panics
+/// Panics if `communities` is zero.
 pub fn planted_partition(
     n: usize,
     communities: usize,

@@ -24,6 +24,8 @@
 //!
 //! All vertex identifiers are `u32` ([`NodeId`]); all weights are `u64`
 //! ([`Weight`]). Gains (signed weight differences) are `i64`.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod bucket_queue;
 pub mod builder;

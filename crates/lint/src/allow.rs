@@ -1,0 +1,210 @@
+//! Audited suppressions: the checked-in `lint-allow.toml` and the bookkeeping
+//! that keeps both suppression mechanisms honest.
+//!
+//! Every entry must carry a written justification, and every entry must still
+//! suppress at least one finding — a suppression that no longer matches
+//! anything is reported as *expired* so the allowlist cannot silently rot
+//! into a list of permissions nobody remembers granting.
+
+use std::cell::Cell;
+
+use crate::rules::{Finding, ALL_RULES, RULE_ALLOWLIST};
+
+/// One `[[allow]]` entry of `lint-allow.toml`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Workspace-relative path the entry covers (exact match).
+    pub path: String,
+    /// Rule name the entry suppresses in that file.
+    pub rule: String,
+    /// Written justification; required.
+    pub reason: String,
+    /// Line of the entry in `lint-allow.toml` (for hygiene findings).
+    pub line: u32,
+    pub used: Cell<bool>,
+}
+
+/// The parsed allowlist plus any hygiene findings produced while parsing.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    pub parse_findings: Vec<Finding>,
+}
+
+impl Allowlist {
+    /// Parses the `lint-allow.toml` subset: `#` comments, `[[allow]]` table
+    /// headers, and `key = "value"` string pairs (keys: `path`, `rule`,
+    /// `reason`). Anything else is reported as a finding rather than an
+    /// error, so a broken allowlist fails the lint instead of disabling it.
+    pub fn parse(toml_path: &str, content: &str) -> Allowlist {
+        let mut out = Allowlist::default();
+        let mut current: Option<(String, String, String, u32)> = None;
+        let flush = |cur: &mut Option<(String, String, String, u32)>,
+                     findings: &mut Vec<Finding>,
+                     entries: &mut Vec<AllowEntry>| {
+            if let Some((path, rule, reason, line)) = cur.take() {
+                let mut bad = |message: String| {
+                    findings.push(Finding {
+                        file: toml_path.to_string(),
+                        line,
+                        rule: RULE_ALLOWLIST,
+                        message,
+                    });
+                };
+                if path.is_empty() || rule.is_empty() {
+                    bad("allow entry needs both `path` and `rule`".to_string());
+                } else if reason.trim().is_empty() {
+                    bad(format!(
+                        "allow entry for {path} / {rule} has no `reason` \
+                         (every suppression must carry a justification)"
+                    ));
+                } else if !ALL_RULES.contains(&rule.as_str()) {
+                    bad(format!(
+                        "allow entry names unknown rule {rule:?} (known: {ALL_RULES:?})"
+                    ));
+                } else {
+                    entries.push(AllowEntry {
+                        path,
+                        rule,
+                        reason,
+                        line,
+                        used: Cell::new(false),
+                    });
+                }
+            }
+        };
+        for (i, raw) in content.lines().enumerate() {
+            let lineno = i as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(&mut current, &mut out.parse_findings, &mut out.entries);
+                current = Some((String::new(), String::new(), String::new(), lineno));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                out.parse_findings.push(Finding {
+                    file: toml_path.to_string(),
+                    line: lineno,
+                    rule: RULE_ALLOWLIST,
+                    message: format!("unparseable line {line:?} (want key = \"value\")"),
+                });
+                continue;
+            };
+            let value = value.trim().trim_matches('"').to_string();
+            let Some(cur) = current.as_mut() else {
+                out.parse_findings.push(Finding {
+                    file: toml_path.to_string(),
+                    line: lineno,
+                    rule: RULE_ALLOWLIST,
+                    message: format!("{} outside an [[allow]] entry", key.trim()),
+                });
+                continue;
+            };
+            match key.trim() {
+                "path" => cur.0 = value,
+                "rule" => cur.1 = value,
+                "reason" => cur.2 = value,
+                other => out.parse_findings.push(Finding {
+                    file: toml_path.to_string(),
+                    line: lineno,
+                    rule: RULE_ALLOWLIST,
+                    message: format!("unknown key {other:?} in allow entry"),
+                }),
+            }
+        }
+        flush(&mut current, &mut out.parse_findings, &mut out.entries);
+        out
+    }
+
+    /// Whether `finding` is suppressed by an entry; marks the entry used.
+    pub fn suppresses(&self, finding: &Finding) -> bool {
+        for e in &self.entries {
+            if e.path == finding.file && e.rule == finding.rule {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Hygiene findings for entries that suppressed nothing this run.
+    pub fn expired(&self, toml_path: &str) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used.get())
+            .map(|e| Finding {
+                file: toml_path.to_string(),
+                line: e.line,
+                rule: RULE_ALLOWLIST,
+                message: format!(
+                    "expired allow entry: {} / {} no longer suppresses anything \
+                     (delete it)",
+                    e.path, e.rule
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_PANIC;
+
+    const GOOD: &str = r#"
+# Audited suppressions.
+[[allow]]
+path = "crates/timer/src/driver.rs"
+rule = "no-panic-paths"
+reason = "worker join contract"
+"#;
+
+    fn finding(file: &str, rule: &'static str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_and_suppresses() {
+        let a = Allowlist::parse("lint-allow.toml", GOOD);
+        assert!(a.parse_findings.is_empty(), "{:?}", a.parse_findings);
+        assert_eq!(a.entries.len(), 1);
+        assert!(a.suppresses(&finding("crates/timer/src/driver.rs", RULE_PANIC)));
+        assert!(!a.suppresses(&finding("crates/timer/src/driver.rs", "no-wallclock")));
+        assert!(!a.suppresses(&finding("crates/graph/src/io.rs", RULE_PANIC)));
+        assert!(a.expired("lint-allow.toml").is_empty());
+    }
+
+    #[test]
+    fn unused_entry_is_reported_expired() {
+        let a = Allowlist::parse("lint-allow.toml", GOOD);
+        let expired = a.expired("lint-allow.toml");
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].message.contains("expired"));
+        assert_eq!(expired[0].line, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_a_finding() {
+        let src = "[[allow]]\npath = \"a.rs\"\nrule = \"no-panic-paths\"\n";
+        let a = Allowlist::parse("lint-allow.toml", src);
+        assert!(a.entries.is_empty());
+        assert_eq!(a.parse_findings.len(), 1);
+        assert!(a.parse_findings[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_and_garbage_are_findings() {
+        let src = "[[allow]]\npath = \"a.rs\"\nrule = \"no-such-rule\"\nreason = \"x\"\nwat\n";
+        let a = Allowlist::parse("lint-allow.toml", src);
+        assert!(a.entries.is_empty());
+        assert_eq!(a.parse_findings.len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! `tie-lint` — the workspace invariant checker, run as
+//! `cargo run -p tie-lint -- --workspace` (CI runs it alongside clippy).
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage error.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: tie-lint --workspace [--root PATH] [--format text|json]
+  --workspace        scan every workspace .rs file (required)
+  --root PATH        workspace root (default: the root this binary was built in)
+  --format text|json report format (default text; json is the archived artifact)";
+
+#[derive(Debug)]
+struct Options {
+    workspace: bool,
+    root: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        root: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !opts.workspace {
+        return Err("nothing to do: pass --workspace".to_string());
+    }
+    Ok(opts)
+}
+
+/// Workspace root: `--root`, or two levels above this crate's manifest
+/// (crates/lint → workspace), falling back to the current directory.
+fn workspace_root(opts: &Options) -> PathBuf {
+    if let Some(root) = &opts.root {
+        return root.clone();
+    }
+    let manifest: PathBuf = env!("CARGO_MANIFEST_DIR").into();
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("tie-lint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = workspace_root(&opts);
+    let report = tie_lint::scan_workspace(&root);
+    if opts.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse(&["--workspace", "--format", "json"]).expect("valid flags must parse");
+        assert!(o.workspace && o.json);
+        let o = parse(&["--workspace", "--root", "/tmp/x"]).expect("valid flags must parse");
+        assert_eq!(o.root.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--workspace", "--format", "xml"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,588 @@
+//! A hand-rolled Rust token scanner: just enough lexing to drive the rule
+//! registry without a real parser (crates.io — and therefore `syn` — is
+//! unreachable from the build environment, and a lint that gates the tree
+//! must not need anything the tree itself cannot build).
+//!
+//! The scanner produces a flat token stream (identifiers, string literals,
+//! punctuation) with line numbers, plus three side channels the rules need:
+//!
+//! * **inline allow directives** — `// tie-lint: allow(rule) — reason`
+//!   comments, with the reason captured so suppressions without a written
+//!   justification can be rejected;
+//! * **`cfg(test)` regions** — brace-balanced spans introduced by
+//!   `#[cfg(test)]` or `#[test]`, so test-only code is exempt from the
+//!   determinism rules (nested test modules are handled by tracking the
+//!   *outermost* such span);
+//! * **`# Panics`-documented spans** — bodies of functions whose doc
+//!   comment carries a `# Panics` section, where contract `assert!`s are
+//!   legal (a panic that is part of the documented API is not an accident).
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (content without quotes, escapes left as written).
+    Str(String),
+    /// Single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// An inline `// tie-lint: allow(rule) — reason` directive.
+#[derive(Clone, Debug)]
+pub struct InlineAllow {
+    /// Line the comment sits on; the directive covers this line and, when
+    /// the comment stands alone, the next code line.
+    pub line: u32,
+    pub rule: String,
+    /// Justification text after the rule; empty means "missing reason".
+    pub reason: String,
+    /// Set by the rule engine when the directive suppresses a finding.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A half-open line span `[start, end]` (inclusive) of source lines.
+#[derive(Clone, Copy, Debug)]
+pub struct LineSpan {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl LineSpan {
+    pub fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// Everything the rules need to know about one scanned file.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<InlineAllow>,
+    /// Outermost `#[cfg(test)]` / `#[test]` item spans.
+    pub test_spans: Vec<LineSpan>,
+    /// Bodies of functions documented with a `# Panics` section.
+    pub panics_doc_spans: Vec<LineSpan>,
+    /// Lines that are comment-only (used to let a standalone allow comment
+    /// cover the following code line).
+    pub comment_only_lines: Vec<u32>,
+}
+
+impl ScannedFile {
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|s| s.contains(line))
+    }
+
+    pub fn in_panics_documented_fn(&self, line: u32) -> bool {
+        self.panics_doc_spans.iter().any(|s| s.contains(line))
+    }
+}
+
+/// Lexes `source` into a [`ScannedFile`]. Never fails: unterminated
+/// constructs simply end the stream (the compiler is the authority on
+/// well-formedness; the lint only needs a faithful token view of code that
+/// already builds).
+pub fn scan(source: &str) -> ScannedFile {
+    let lexed = lex(source);
+    let mut out = ScannedFile {
+        test_spans: find_attr_spans(&lexed.tokens),
+        panics_doc_spans: find_panics_doc_spans(&lexed.tokens, &lexed.doc_panics_lines),
+        tokens: lexed.tokens,
+        allows: lexed.allows,
+        comment_only_lines: Vec::new(),
+    };
+    out.comment_only_lines = comment_only_lines(source);
+    out
+}
+
+struct Lexed {
+    tokens: Vec<Token>,
+    allows: Vec<InlineAllow>,
+    /// Lines of `///` / `//!` doc comments containing `# Panics`.
+    doc_panics_lines: Vec<u32>,
+}
+
+fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    let mut doc_panics_lines = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                if text.starts_with("///") || text.starts_with("//!") {
+                    if text.contains("# Panics") {
+                        doc_panics_lines.push(line);
+                    }
+                } else if let Some(allow) = parse_allow_comment(text, line) {
+                    allows.push(allow);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (content, next, newlines) = lex_string(source, i + 1);
+                tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line: start_line,
+                });
+                line += newlines;
+                i = next;
+            }
+            'r' if is_raw_string_start(bytes, i) => {
+                let start_line = line;
+                let (content, next, newlines) = lex_raw_string(source, i);
+                tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line: start_line,
+                });
+                line += newlines;
+                i = next;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let rest = &bytes[i + 1..];
+                let is_lifetime = matches!(rest.first(), Some(&b) if b.is_ascii_alphabetic() || b == b'_')
+                    && rest.get(1) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1; // skip the quote; the name lexes as an ident
+                } else {
+                    // Char literal: skip to the closing quote.
+                    i += 1;
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            // Identifiers are ASCII-only on purpose: a multi-byte char (e.g.
+            // `µ` or `—` in a char literal) must never be byte-sliced.
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(source[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (incl. suffixes like 0u64, 1_000, 0x9e37) lex as a
+                // blob and are dropped; no rule needs them.
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+                        // `0..n` — stop before a range, keep `1.5` together.
+                        if b == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                            break;
+                        }
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            c => {
+                tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed {
+        tokens,
+        allows,
+        doc_panics_lines,
+    }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Lexes a normal string body starting after the opening quote. Returns
+/// `(content, index_after_close, newline_count)`.
+fn lex_string(source: &str, mut i: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let start = i;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            // An escaped newline (`\` line continuation) still ends a source
+            // line — miscounting here shifts every later finding's line.
+            b'\\' => {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                return (source[start..i].to_string(), i + 1, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (source[start..i].to_string(), i, newlines)
+}
+
+/// Lexes a raw string starting at the `r`. Returns the same triple as
+/// [`lex_string`].
+fn lex_raw_string(source: &str, i: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut hashes = 0usize;
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[j] == b'"' && bytes[j..].starts_with(&closer) {
+            return (source[start..j].to_string(), j + closer.len(), newlines);
+        }
+        j += 1;
+    }
+    (source[start..j].to_string(), j, newlines)
+}
+
+/// Parses `tie-lint: allow(rule) — reason` out of a line comment.
+fn parse_allow_comment(comment: &str, line: u32) -> Option<InlineAllow> {
+    let idx = comment.find("tie-lint:")?;
+    let rest = comment[idx + "tie-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    // Everything after the paren, minus separator punctuation, is the reason.
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t'])
+        .trim_start_matches(['—', '-', ':', '–'])
+        .trim()
+        .to_string();
+    Some(InlineAllow {
+        line,
+        rule,
+        reason,
+        used: std::cell::Cell::new(false),
+    })
+}
+
+fn comment_only_lines(source: &str) -> Vec<u32> {
+    source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with("//"))
+        .map(|(i, _)| i as u32 + 1)
+        .collect()
+}
+
+/// Finds the outermost spans of items marked `#[cfg(test)]` or `#[test]`.
+/// An item span runs from the attribute to either the `;` closing a bodyless
+/// item or the `}` closing its brace-balanced body.
+fn find_attr_spans(tokens: &[Token]) -> Vec<LineSpan> {
+    let mut spans: Vec<LineSpan> = Vec::new();
+    let mut k = 0usize;
+    while k < tokens.len() {
+        if let Some(attr_len) = test_attr_at(tokens, k) {
+            let start_line = tokens[k].line;
+            if let Some(last) = spans.last() {
+                // Nested inside an already-recorded test span: skip.
+                if last.contains(start_line) {
+                    k += attr_len;
+                    continue;
+                }
+            }
+            let end = item_end(tokens, k + attr_len);
+            spans.push(LineSpan {
+                start: start_line,
+                end: tokens
+                    .get(end.min(tokens.len().saturating_sub(1)))
+                    .map_or(u32::MAX, |t| t.line),
+            });
+            k = end + 1;
+        } else {
+            k += 1;
+        }
+    }
+    spans
+}
+
+/// Matches `#[cfg(test)]` or `#[test]` starting at `k`; returns the token
+/// count of the attribute when it matches.
+fn test_attr_at(tokens: &[Token], k: usize) -> Option<usize> {
+    if tokens.get(k)?.tok != Tok::Punct('#') || tokens.get(k + 1)?.tok != Tok::Punct('[') {
+        return None;
+    }
+    match &tokens.get(k + 2)?.tok {
+        Tok::Ident(id) if id == "test" => (tokens.get(k + 3)?.tok == Tok::Punct(']')).then_some(4),
+        Tok::Ident(id) if id == "cfg" => {
+            let seq = [
+                Tok::Punct('('),
+                Tok::Ident("test".to_string()),
+                Tok::Punct(')'),
+                Tok::Punct(']'),
+            ];
+            for (off, want) in seq.iter().enumerate() {
+                if &tokens.get(k + 3 + off)?.tok != want {
+                    return None;
+                }
+            }
+            Some(7)
+        }
+        _ => None,
+    }
+}
+
+/// Index of the token closing the item that starts at `k` (the matching `}`
+/// of its first brace block, or the first `;` before any brace opens).
+fn item_end(tokens: &[Token], mut k: usize) -> usize {
+    let mut depth = 0i32;
+    let mut entered = false;
+    while k < tokens.len() {
+        match tokens[k].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                entered = true;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                if entered && depth == 0 {
+                    return k;
+                }
+            }
+            Tok::Punct(';') if !entered => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Bodies of `fn`s whose preceding doc block contains `# Panics`: from each
+/// such doc line, the next `fn` token's brace block is the documented span.
+fn find_panics_doc_spans(tokens: &[Token], doc_lines: &[u32]) -> Vec<LineSpan> {
+    let mut spans = Vec::new();
+    for &doc_line in doc_lines {
+        // First token at or after the doc line.
+        let Some(start) = tokens.iter().position(|t| t.line >= doc_line) else {
+            continue;
+        };
+        // The doc block belongs to the next `fn` item; give up at the first
+        // closing brace (end of the surrounding scope) to avoid leaking onto
+        // unrelated functions.
+        let mut k = start;
+        let mut fn_at = None;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Ident(id) if id == "fn" => {
+                    fn_at = Some(k);
+                    break;
+                }
+                Tok::Punct('}') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(fn_at) = fn_at {
+            let end = item_end(tokens, fn_at);
+            spans.push(LineSpan {
+                start: tokens[fn_at].line,
+                end: tokens.get(end).map_or(tokens[fn_at].line, |t| t.line),
+            });
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(scanned: &ScannedFile) -> Vec<String> {
+        scanned
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_as_a_line() {
+        let s = scan("let a = \"one \\\n two\";\nlet after = 1;\n");
+        let after = s
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("after".to_string()))
+            .map(|t| t.line);
+        assert_eq!(after, Some(3));
+    }
+
+    #[test]
+    fn lexes_idents_strings_and_puncts_with_lines() {
+        let s = scan("fn main() {\n    let x = \"hello // not a comment\";\n}\n");
+        assert_eq!(idents(&s), vec!["fn", "main", "let", "x"]);
+        let string_tok = s
+            .tokens
+            .iter()
+            .find(|t| matches!(t.tok, Tok::Str(_)))
+            .unwrap();
+        assert_eq!(string_tok.line, 2);
+        assert_eq!(string_tok.tok, Tok::Str("hello // not a comment".into()));
+    }
+
+    #[test]
+    fn comments_and_char_literals_do_not_produce_tokens() {
+        let s = scan("// line .unwrap()\n/* block\n .expect( */\nlet c = 'x'; let nl = '\\n';");
+        assert!(!idents(&s).contains(&"unwrap".to_string()));
+        assert!(!idents(&s).contains(&"expect".to_string()));
+        assert!(idents(&s).contains(&"nl".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        // The following ident must survive the lifetime quote handling.
+        assert!(idents(&s).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_lex_whole() {
+        let s = scan("let x = r#\"a \"quoted\" b\"#; let y = 1;");
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Str("a \"quoted\" b".into())));
+        assert!(idents(&s).contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_nested_modules() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    #[cfg(test)]
+    mod inner {
+        fn helper() {}
+    }
+    #[test]
+    fn t() {}
+}
+fn prod2() {}
+";
+        let s = scan(src);
+        assert_eq!(s.test_spans.len(), 1, "{:?}", s.test_spans);
+        assert!(!s.in_test_code(1));
+        assert!(s.in_test_code(6));
+        assert!(s.in_test_code(9));
+        assert!(!s.in_test_code(11));
+    }
+
+    #[test]
+    fn bodyless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let s = scan(src);
+        assert!(s.in_test_code(2));
+        assert!(!s.in_test_code(3));
+    }
+
+    #[test]
+    fn allow_comments_parse_with_and_without_reason() {
+        let src = "\
+let a = 1; // tie-lint: allow(no-wallclock) — phase timing feeds telemetry only
+// tie-lint: allow(no-panic-paths)
+let b = 2;
+";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].rule, "no-wallclock");
+        assert!(s.allows[0].reason.contains("telemetry"));
+        assert_eq!(s.allows[1].rule, "no-panic-paths");
+        assert!(s.allows[1].reason.is_empty());
+        assert!(s.comment_only_lines.contains(&2));
+        assert!(!s.comment_only_lines.contains(&1));
+    }
+
+    #[test]
+    fn panics_doc_span_covers_fn_body() {
+        let src = "\
+/// Does things.
+///
+/// # Panics
+/// Panics if n is odd.
+pub fn f(n: u32) {
+    assert!(n % 2 == 0);
+}
+fn undocumented() {
+    let x = 1;
+}
+";
+        let s = scan(src);
+        assert!(s.in_panics_documented_fn(6));
+        assert!(!s.in_panics_documented_fn(9));
+    }
+}

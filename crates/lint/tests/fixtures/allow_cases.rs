@@ -1,0 +1,20 @@
+// MIXED: inline-allow hygiene (scanned as crates/timer/src/fixture.rs).
+// Expected: the reasoned allow suppresses its unwrap; the reasonless allow
+// is inert (two findings: the unwrap and the missing reason); the expired
+// allow adds one finding.
+
+fn suppressed(x: Option<u32>) -> u32 {
+    x.unwrap() // tie-lint: allow(no-panic-paths) — fixture: reasoned allow on the same line
+}
+
+fn suppressed_from_previous_line(x: Option<u32>) -> u32 {
+    // tie-lint: allow(no-panic-paths) — fixture: reasoned allow on the line above
+    x.unwrap()
+}
+
+fn not_suppressed(x: Option<u32>) -> u32 {
+    x.unwrap() // tie-lint: allow(no-panic-paths)
+}
+
+// tie-lint: allow(no-wallclock) — fixture: nothing here reads the clock, so this is expired
+fn nothing_to_suppress() {}

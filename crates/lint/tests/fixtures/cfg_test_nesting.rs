@@ -1,0 +1,25 @@
+// MIXED: cfg(test)-region tracking. The unwrap inside the nested test
+// module (including its inner helper module) is legal; the two outside are
+// findings (scanned as crates/graph/src/fixture.rs).
+
+fn before_the_module(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    mod nested_helpers {
+        pub fn helper(x: Option<u32>) -> u32 {
+            x.unwrap()
+        }
+    }
+
+    #[test]
+    fn uses_helper() {
+        assert_eq!(nested_helpers::helper(Some(3)), 3);
+    }
+}
+
+fn after_the_module(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,34 @@
+// NEGATIVE: the legal residents of the no-panic taxonomy (scanned as
+// crates/timer/src/fixture.rs).
+
+/// Contract-checked constructor.
+///
+/// # Panics
+/// Panics if `n` is zero.
+pub fn documented_assert(n: u32) {
+    assert!(n > 0, "n must be positive");
+    assert_ne!(n, 0);
+}
+
+fn debug_asserts_are_free(n: u32) {
+    debug_assert!(n < 1_000_000);
+    debug_assert_eq!(n, n);
+}
+
+fn non_panicking_variants(x: Option<u32>) -> u32 {
+    x.unwrap_or(0).max(x.unwrap_or_default())
+}
+
+fn unwrap_or_else_is_not_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_legal() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        panic!("even this is fine in a test");
+    }
+}

@@ -1,0 +1,25 @@
+// POSITIVE: library-path panics in all their costumes (scanned as
+// crates/timer/src/fixture.rs).
+
+fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn panic_site() {
+    panic!("boom");
+}
+
+fn todo_site() {
+    todo!()
+}
+
+/// Documented, but without the panics section header — the asserts still
+/// fire.
+fn undocumented_assert(n: u32) {
+    assert!(n > 0);
+    assert_eq!(n, n);
+}

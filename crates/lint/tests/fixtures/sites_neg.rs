@@ -1,0 +1,16 @@
+// NEGATIVE: registered vocabulary names everywhere (scanned as
+// crates/timer/tests/fixture.rs).
+
+fn registered_delay_sites(h: &FaultHandle) {
+    h.delay("hierarchy_build");
+    h.delay("assemble");
+    h.delay("delta_scan");
+    h.delay("io");
+}
+
+fn registered_phase_names() {
+    let _ = Phase::from_name("sweep");
+    let _ = Phase::from_name("contract");
+}
+
+const SPEC: &str = "panic@3, delay:delta_scan=250, io@2";

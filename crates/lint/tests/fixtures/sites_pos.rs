@@ -1,0 +1,16 @@
+// POSITIVE: unregistered site/phase names — the registered-sites rule
+// applies even in test files (scanned as crates/timer/tests/fixture.rs).
+
+fn unregistered_delay_site(h: &FaultHandle) {
+    h.delay("warp_core");
+}
+
+fn unregistered_plan_site(plan: FaultPlan) -> FaultPlan {
+    plan.with_delay("warp_core", Duration::from_micros(1))
+}
+
+fn unregistered_phase_name() {
+    let _ = Phase::from_name("warp_drive");
+}
+
+const SPEC: &str = "panic@3, delay:warp_core=250";

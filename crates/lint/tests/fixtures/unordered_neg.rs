@@ -1,0 +1,32 @@
+// NEGATIVE: lookups into hash containers, ordered containers, and test-only
+// iteration are all legal (scanned as crates/graph/src/fixture.rs).
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn lookups_are_legal(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> bool {
+    m.get(&1).is_some() && m.contains_key(&2) && s.contains(&3)
+}
+
+fn entry_api_is_legal(m: &mut HashMap<u32, u32>) {
+    *m.entry(7).or_insert(0) += 1;
+}
+
+fn btreemap_iteration_is_legal(ordered: &BTreeMap<u32, u32>) -> usize {
+    ordered.iter().count() + ordered.keys().count()
+}
+
+fn vec_of_hashset_is_a_vec(sets: &[HashSet<u32>]) -> usize {
+    let owned: Vec<HashSet<u32>> = sets.to_vec();
+    owned.iter().map(HashSet::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_iteration_in_tests_is_legal() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in &m {
+            let _ = (k, v);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+// POSITIVE: every HashMap/HashSet iteration form must fire in a
+// result-affecting crate (scanned as crates/graph/src/fixture.rs).
+use std::collections::{HashMap, HashSet};
+
+struct Holder {
+    by_key: HashMap<u64, u32>,
+}
+
+fn let_binding_for_loop() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}
+
+fn method_iteration(seen: HashSet<u64>) -> usize {
+    seen.iter().count()
+}
+
+impl Holder {
+    fn field_iteration(&self) -> Vec<u64> {
+        self.by_key.keys().copied().collect()
+    }
+}
+
+fn inferred_from_initializer() {
+    let mut s = HashSet::new();
+    s.insert(1u32);
+    for x in s.drain() {
+        let _ = x;
+    }
+}

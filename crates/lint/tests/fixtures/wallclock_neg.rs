@@ -1,0 +1,13 @@
+// NEGATIVE: wall-clock reads where they are allowed — this file is scanned
+// once as crates/bench/src/fixture.rs (exempt crate) and once as
+// crates/timer/tests/fixture.rs (test context).
+use std::time::Instant;
+
+fn timing_a_benchmark() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}
+
+fn instant_type_without_now(t: Instant) -> u64 {
+    t.elapsed().as_micros() as u64
+}

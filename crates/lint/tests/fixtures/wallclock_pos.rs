@@ -1,0 +1,11 @@
+// POSITIVE: wall-clock reads on a library path (scanned as
+// crates/partition/src/fixture.rs).
+use std::time::{Instant, SystemTime};
+
+fn reads_instant() -> Instant {
+    Instant::now()
+}
+
+fn reads_system_time() -> SystemTime {
+    SystemTime::now()
+}

@@ -81,10 +81,12 @@ fn recurse(
     // last vertices of the larger side over. The PE sides only need the right
     // cardinality; communication quality comes from the Gc side.
     while p0.len() > p_half as usize {
-        p1.push(p0.pop().unwrap());
+        let Some(v) = p0.pop() else { break };
+        p1.push(v);
     }
     while p0.len() < p_half as usize {
-        p0.push(p1.pop().unwrap());
+        let Some(v) = p1.pop() else { break };
+        p0.push(v);
     }
 
     // 2. Bisect the communication subset with target sizes matching the PE
@@ -109,10 +111,12 @@ fn recurse(
         }
     }
     while c0.len() > c_target0 as usize {
-        c1.push(c0.pop().unwrap());
+        let Some(v) = c0.pop() else { break };
+        c1.push(v);
     }
-    while c0.len() < c_target0 as usize && !c1.is_empty() {
-        c0.push(c1.pop().unwrap());
+    while c0.len() < c_target0 as usize {
+        let Some(v) = c1.pop() else { break };
+        c0.push(v);
     }
 
     // 3. Recurse on the matched halves.

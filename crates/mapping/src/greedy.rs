@@ -51,6 +51,10 @@ pub fn greedy_min_mapping(graph: &Graph, partition: &Partition, gp: &Graph) -> M
     Mapping::from_partition(partition, &nu, gp.num_vertices())
 }
 
+/// Shared construction loop of both variants.
+///
+/// # Panics
+/// Panics if `gc` has more vertices than `gp` has PEs (no bijection exists).
 fn greedy_construct(gc: &Graph, gp: &Graph, variant: Variant) -> Vec<u32> {
     let k = gc.num_vertices();
     let p = gp.num_vertices();
@@ -80,15 +84,20 @@ fn greedy_construct(gc: &Graph, gp: &Graph, variant: Variant) -> Vec<u32> {
 
     for _ in 1..k {
         // Select the next communication-graph vertex.
-        let vc = match variant {
+        let selected = match variant {
             Variant::AllC => select_max_total(gc, &mapped),
             Variant::Min => select_max_single(gc, &mapped),
         };
+        // `k <= p` and the loop bound keep a vertex and a PE available on
+        // every round; `None` can only mean the invariant broke, and then
+        // stopping early still yields a well-formed partial `nu`.
+        let Some(vc) = selected else { break };
         // Select its PE.
-        let vp = match variant {
+        let selected_pe = match variant {
             Variant::AllC => select_pe_allc(gc, &dist, &nu, &pe_used, vc, p),
             Variant::Min => select_pe_min(gc, &dist, &nu, &pe_used, vc, p),
         };
+        let Some(vp) = selected_pe else { break };
         nu[vc as usize] = vp;
         pe_used[vp as usize] = true;
         mapped[vc as usize] = true;
@@ -102,7 +111,7 @@ fn total_distance(dist: &DistanceMatrix, from: NodeId, n: usize) -> u64 {
 
 /// Unmapped vertex with the largest total edge weight to mapped vertices
 /// (fallback: largest weighted degree).
-fn select_max_total(gc: &Graph, mapped: &[bool]) -> NodeId {
+fn select_max_total(gc: &Graph, mapped: &[bool]) -> Option<NodeId> {
     let mut best: Option<(NodeId, Weight, Weight)> = None; // (v, to_mapped, wdeg)
     for v in gc.vertices() {
         if mapped[v as usize] {
@@ -122,12 +131,12 @@ fn select_max_total(gc: &Graph, mapped: &[bool]) -> NodeId {
             best = Some((v, to_mapped, wdeg));
         }
     }
-    best.expect("at least one unmapped vertex").0
+    best.map(|(v, _, _)| v)
 }
 
 /// Unmapped vertex with the heaviest single edge to a mapped vertex
 /// (fallback: largest weighted degree).
-fn select_max_single(gc: &Graph, mapped: &[bool]) -> NodeId {
+fn select_max_single(gc: &Graph, mapped: &[bool]) -> Option<NodeId> {
     let mut best: Option<(NodeId, Weight, Weight)> = None; // (v, max_edge, wdeg)
     for v in gc.vertices() {
         if mapped[v as usize] {
@@ -148,7 +157,7 @@ fn select_max_single(gc: &Graph, mapped: &[bool]) -> NodeId {
             best = Some((v, max_edge, wdeg));
         }
     }
-    best.expect("at least one unmapped vertex").0
+    best.map(|(v, _, _)| v)
 }
 
 /// Communication-weighted total distance of PE `q` to the PEs of `vc`'s
@@ -176,7 +185,7 @@ fn select_pe_allc(
     pe_used: &[bool],
     vc: NodeId,
     p: usize,
-) -> u32 {
+) -> Option<u32> {
     let mut best: Option<(u32, u64, u64)> = None;
     for q in 0..p as NodeId {
         if pe_used[q as usize] {
@@ -195,7 +204,7 @@ fn select_pe_allc(
             best = Some((q, primary, secondary));
         }
     }
-    best.expect("at least one free PE").0
+    best.map(|(q, _, _)| q)
 }
 
 /// PE choice for GREEDYMIN: minimal distance to the PE of the single
@@ -207,7 +216,7 @@ fn select_pe_min(
     pe_used: &[bool],
     vc: NodeId,
     p: usize,
-) -> u32 {
+) -> Option<u32> {
     // The heaviest already-placed neighbour (if any).
     let anchor = gc
         .edges_of(vc)
@@ -235,7 +244,7 @@ fn select_pe_min(
             best = Some((q, primary, secondary));
         }
     }
-    best.expect("at least one free PE").0
+    best.map(|(q, _, _)| q)
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //!
 //! The central type is [`Mapping`]: an assignment of every application-graph
 //! vertex to a PE.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod comm;
 pub mod drb;
@@ -84,6 +86,9 @@ impl Mapping {
 
     /// Builds a mapping from a partition of `Ga` and a bijection
     /// `block -> PE` (`nu[b]` is the PE of block `b`).
+    ///
+    /// # Panics
+    /// Panics if `nu` does not have exactly one entry per block.
     pub fn from_partition(partition: &Partition, nu: &[u32], num_pes: usize) -> Self {
         assert_eq!(partition.k(), nu.len(), "bijection must cover every block");
         let assignment = partition

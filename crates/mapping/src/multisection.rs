@@ -103,10 +103,12 @@ fn recurse(
     // Cardinality fix-up: each side may receive at most as many communication
     // vertices as it has PEs.
     while c0.len() > p0.len() {
-        c1.push(c0.pop().unwrap());
+        let Some(v) = c0.pop() else { break };
+        c1.push(v);
     }
     while c1.len() > p1.len() {
-        c0.push(c1.pop().unwrap());
+        let Some(v) = c1.pop() else { break };
+        c0.push(v);
     }
     recurse(gc, pcube, &c0, &p0, digit - 1, seed.wrapping_add(1), nu);
     recurse(gc, pcube, &c1, &p1, digit - 1, seed.wrapping_add(2), nu);

@@ -14,7 +14,10 @@ use tie_partition::Partition;
 
 use crate::Mapping;
 
-/// A uniformly random bijection `block -> PE` (requires `k <= num_pes`).
+/// A uniformly random bijection `block -> PE`.
+///
+/// # Panics
+/// Panics if `k > num_pes` (no bijection exists).
 pub fn random_bijection(k: usize, num_pes: usize, seed: u64) -> Vec<u32> {
     assert!(k <= num_pes, "need at least as many PEs as blocks");
     let mut pes: Vec<u32> = (0..num_pes as u32).collect();

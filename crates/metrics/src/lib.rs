@@ -17,6 +17,8 @@
 //! All metrics are pure functions of `(Ga, Gp, µ)` and are used both by the
 //! experiment harness and as cross-checks in tests of the label-based
 //! objective in `tie-timer`.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 use std::collections::VecDeque;
 
@@ -111,9 +113,10 @@ pub fn congestion(ga: &Graph, gp: &Graph, mapping: &Mapping) -> u64 {
     for s in gp.vertices() {
         parents.push(bfs_parents(gp, s));
     }
-    // Edge loads keyed by (min, max) endpoint.
-    let mut load: std::collections::HashMap<(NodeId, NodeId), u64> =
-        std::collections::HashMap::new();
+    // Edge loads keyed by (min, max) endpoint; a BTreeMap so the final
+    // reduction visits links in a fixed order.
+    let mut load: std::collections::BTreeMap<(NodeId, NodeId), u64> =
+        std::collections::BTreeMap::new();
     for (u, v, w) in ga.edges() {
         let (pu, pv) = (mapping.pe_of(u), mapping.pe_of(v));
         if pu == pv {

@@ -137,11 +137,11 @@ pub fn greedy_kway_refine(
                     }
                 }
             }
-            if conn.is_empty() {
-                continue; // not a boundary vertex
-            }
-            // Best target block by gain = external(b) - internal.
-            let (best_block, best_conn) = conn.into_iter().max_by_key(|&(_, w)| w).unwrap();
+            // Best target block by gain = external(b) - internal; vertices
+            // with no external connectivity are not boundary vertices.
+            let Some((best_block, best_conn)) = conn.into_iter().max_by_key(|&(_, w)| w) else {
+                continue;
+            };
             let gain = best_conn as Gain - internal as Gain;
             if gain <= 0 {
                 continue;

@@ -21,6 +21,8 @@
 //!
 //! The entry point is [`partition`] with a [`PartitionConfig`]; the result is
 //! a [`Partition`] (block assignment plus quality accessors).
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod coarsen;
 pub mod fm;

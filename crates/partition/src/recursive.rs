@@ -9,6 +9,9 @@ use crate::PartitionConfig;
 
 /// Partitions `graph` into `config.k` blocks by recursive multilevel
 /// bisection followed (optionally) by a greedy k-way refinement pass.
+///
+/// # Panics
+/// Panics if `config.k` is zero.
 pub fn recursive_bisection(graph: &Graph, config: &PartitionConfig) -> Partition {
     assert!(config.k >= 1, "k must be positive");
     let n = graph.num_vertices();

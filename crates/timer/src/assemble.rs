@@ -17,7 +17,7 @@
 //! finishes with a repair pass that reassigns leftover original labels to the
 //! affected vertices (nearest by Hamming distance on the PE digits first).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use crate::hierarchy::HierarchyRun;
 
@@ -103,7 +103,9 @@ fn low_mask(bits: usize) -> u64 {
 /// labels, nearest first by Hamming distance. Returns the number of repaired
 /// vertices.
 fn repair_bijection(labels: &mut [u64], original: &[u64]) -> usize {
-    let mut budget: HashMap<u64, u32> = HashMap::new();
+    // Label-sorted so the leftover list below comes out ordered without an
+    // extra sort (and never in hash order).
+    let mut budget: BTreeMap<u64, u32> = BTreeMap::new();
     for &l in original {
         *budget.entry(l).or_insert(0) += 1;
     }
@@ -122,14 +124,16 @@ fn repair_bijection(labels: &mut [u64], original: &[u64]) -> usize {
         .into_iter()
         .flat_map(|(l, c)| std::iter::repeat_n(l, c as usize))
         .collect();
-    leftovers.sort_unstable();
     for &v in &needs_fix {
         let want = labels[v];
         // Nearest leftover by Hamming distance (ties: numerically smallest).
+        // Pigeonhole: every unmatched vertex left exactly one unit of budget
+        // unconsumed, so a leftover always exists here.
         let (idx, _) = leftovers
             .iter()
             .enumerate()
             .min_by_key(|&(_, &l)| ((l ^ want).count_ones(), l))
+            // tie-lint: allow(no-panic-paths) — pigeonhole invariant: one leftover per unmatched vertex
             .expect("leftover label must exist for every unmatched vertex");
         labels[v] = leftovers.swap_remove(idx);
     }

@@ -135,6 +135,7 @@ impl Timer {
     ) -> Result<TimerResult, TieError> {
         let cfg = &self.config;
         cfg.validate()?;
+        // tie-lint: allow(no-wallclock) — deadline anchor and telemetry total; never read by the algorithm
         let start = Instant::now();
         let deadline = cfg.deadline.map(|d| start + d);
         let faults = &cfg.faults;
@@ -215,6 +216,7 @@ impl Timer {
                 stop_reason = StopReason::Cancelled;
                 break;
             }
+            // tie-lint: allow(no-wallclock) — deadline enforcement only decides when to stop, not what is computed
             if deadline.is_some_and(|t| Instant::now() >= t) {
                 stop_reason = StopReason::DeadlineExceeded;
                 break;
@@ -353,6 +355,7 @@ impl Timer {
             // speculations: they are dropped without touching any counter and
             // re-run from the new base, which keeps the whole trajectory
             // byte-identical to the sequential driver.
+            // tie-lint: allow(no-wallclock) — commit-phase telemetry
             let commit_start = Instant::now();
             let mut committed = 0usize;
             let mut invalidated = false;
@@ -567,6 +570,7 @@ fn run_round(
 
     // Line 7: permute labels (and the masks along with them).
     faults.delay("hierarchy_build");
+    // tie-lint: allow(no-wallclock) — hierarchy-phase telemetry
     let build_start = Instant::now();
     let permuted: Vec<u64> = base
         .iter()
@@ -603,6 +607,7 @@ fn run_round(
     // Line 15: assemble a new fine-level labeling from the hierarchy, then
     // (line 16) undo the digit permutation.
     faults.delay("assemble");
+    // tie-lint: allow(no-wallclock) — assemble-phase telemetry
     let assemble_start = Instant::now();
     let assembled = assemble_labels(&run, dim);
     let labels: Vec<u64> = assembled
@@ -624,6 +629,7 @@ fn run_round(
     // delta, rounds that grow Div faster than Coco would be accepted and
     // plain Coco would drift upward as NH grows.
     faults.delay("delta_scan");
+    // tie-lint: allow(no-wallclock) — delta-scan-phase telemetry
     let scan_start = Instant::now();
     let (coco_delta, div_delta) = coco_div_delta(graph, base, &labels, p_mask, e_mask);
     let scan_us = scan_start.elapsed().as_micros() as u64;

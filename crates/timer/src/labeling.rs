@@ -172,10 +172,16 @@ impl Labeling {
     }
 
     /// PE encoded in vertex `v`'s label.
+    ///
+    /// # Panics
+    /// Panics if the label's PE prefix is not in the labeling's PE table —
+    /// only possible if an internal invariant broke, since the table is
+    /// built from the same labels at construction.
     pub fn pe_of_vertex(&self, v: NodeId) -> u32 {
         let lp = self.lp_part(v);
         match self.pe_of_label.binary_search_by_key(&lp, |&(l, _)| l) {
             Ok(i) => self.pe_of_label[i].1,
+            // tie-lint: allow(no-panic-paths) — documented invariant: PE table is derived from these labels
             Err(_) => panic!("label prefix {lp:#b} does not name a PE"),
         }
     }

@@ -20,6 +20,8 @@
 //! The entry point is [`Timer::enhance`] (or the convenience function
 //! [`enhance_mapping`]). The result carries both the improved mapping and
 //! before/after objective values.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod assemble;
 pub mod driver;

@@ -119,6 +119,9 @@ impl Topology {
     }
 
     /// `dim`-dimensional hypercube with `2^dim` PEs.
+    ///
+    /// # Panics
+    /// Panics if `dim > 20` (over a million PEs — almost certainly a bug).
     pub fn hypercube(dim: usize) -> Self {
         assert!(dim <= 20, "hypercube dimension {dim} unreasonably large");
         let n = 1usize << dim;

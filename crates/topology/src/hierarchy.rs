@@ -76,6 +76,9 @@ impl Hierarchy {
     /// Partition at level `i` (0 ≤ i ≤ dim): returns, for every vertex, a
     /// dense block id. Level 0 puts everything in block 0; level `dim`
     /// separates every distinct label.
+    ///
+    /// # Panics
+    /// Panics if `level` exceeds the hierarchy dimension.
     pub fn partition_at_level(&self, level: usize) -> Vec<u32> {
         assert!(
             level <= self.dim,

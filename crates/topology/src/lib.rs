@@ -18,6 +18,8 @@
 //!   permutations) shared with `tie-timer`,
 //! * [`hierarchy`] — the permutation-induced hierarchies of partitions of
 //!   Section 2 (Figure 2).
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod builders;
 pub mod hierarchy;

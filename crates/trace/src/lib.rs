@@ -30,6 +30,8 @@
 //! Timestamps (`ts_us`) are microseconds of monotonic time since the handle
 //! was created; `thread` is a small sequential id assigned per OS thread on
 //! first emission (stable within a process, not across processes).
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod event;
 pub mod histogram;

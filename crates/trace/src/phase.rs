@@ -47,6 +47,14 @@ impl Phase {
         }
     }
 
+    /// Inverse of [`Phase::name`]: resolves a stable snake_case name back to
+    /// the phase, `None` for anything outside the fixed vocabulary. String
+    /// call sites of this function are policed by `tie-lint`'s
+    /// `registered-sites` rule.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
     fn index(self) -> usize {
         match self {
             Phase::HierarchyBuild => 0,
@@ -110,6 +118,14 @@ mod tests {
         assert_eq!(dedup.len(), Phase::COUNT);
         assert_eq!(Phase::HierarchyBuild.name(), "hierarchy_build");
         assert_eq!(Phase::DeltaScan.name(), "delta_scan");
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("warp_drive"), None);
     }
 
     #[test]

@@ -56,9 +56,10 @@ impl JsonlSink {
 
 impl TraceSink for JsonlSink {
     fn record(&self, event: &TraceEvent, ts_us: u64, thread: u64) {
-        let mut out = self.out.lock().expect("trace writer poisoned");
-        // Serialize outside the unlikely failure path; ignore I/O errors —
-        // observability must never take the pipeline down.
+        // Recover from poisoning (a panicking recorder thread leaves the
+        // writer consistent) and ignore I/O errors — observability must
+        // never take the pipeline down.
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
         let line = event.to_json(ts_us, thread);
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
@@ -86,7 +87,10 @@ pub struct MemorySink {
 impl MemorySink {
     /// Snapshot of everything recorded so far, in emission order.
     pub fn events(&self) -> Vec<RecordedEvent> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// The recorded [`TraceEvent::Gate`] events, in emission order.
@@ -103,7 +107,7 @@ impl TraceSink for MemorySink {
     fn record(&self, event: &TraceEvent, ts_us: u64, thread: u64) {
         self.events
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .push(RecordedEvent {
                 event: event.clone(),
                 ts_us,

@@ -5,3 +5,4 @@
 //! examples in `examples/`. The actual functionality lives in the
 //! `crates/*` workspace members (`tie-graph`, `tie-partition`,
 //! `tie-mapping`, `tie-metrics`, `tie-topology`, `tie-timer`, `tie-bench`).
+#![forbid(unsafe_code)]
