@@ -1,15 +1,21 @@
 //! Command-line mapper: read an application graph from a METIS or edge-list
-//! file, map it onto a chosen partial-cube topology, enhance the mapping with
-//! TIMER and (optionally) write the resulting vertex-to-PE assignment to a
-//! file — the workflow a user of the original tool chain (KaHIP + TIMER)
-//! would run.
+//! file, map it onto a chosen partial-cube topology, enhance the mapping
+//! with TIMER and (optionally) write the resulting vertex-to-PE assignment
+//! to a file — the workflow a user of the original tool chain (KaHIP +
+//! TIMER) would run.
+//!
+//! Every request goes through [`tie_mapd::Service`] — the same pipeline the
+//! `mapd` daemon serves — either in-process (the default) or over a daemon
+//! socket (`--client SOCKET`). One code path means the one-shot and served
+//! results are byte-identical by construction.
 //!
 //! Usage:
 //!   cargo run -p tie-bench --bin map_file --release -- \
 //!       --graph app.metis --topology grid16x16 [--case c2|c3|c4|c1] \
 //!       [--nh 50] [--eps 0.03] [--seed 1] [--threads N] [--batch B] \
-//!       [--deadline-ms N] [--out mapping.txt] [--trace-out trace.jsonl] \
-//!       [--trace-level gate|phase|debug]
+//!       [--deadline-ms N] [--out mapping.txt] [--json] \
+//!       [--client SOCKET [--ping | --shutdown [--shutdown-mode drain|cancel]]] \
+//!       [--trace-out trace.jsonl] [--trace-level gate|phase|debug]
 //!
 //! Supported topology names: gridAxB, gridAxBxC, torusAxB, torusAxBxC,
 //! hypercubeD, treeN, pathN.
@@ -20,245 +26,148 @@
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
-use std::str::FromStr;
-use std::time::Duration;
 
-use tie_bench::experiment::{run_case, ExperimentCase, ExperimentConfig};
-use tie_bench::harness::make_trace_handle;
 use tie_fault::FaultHandle;
-use tie_graph::io;
-use tie_mapping::{identity_mapping, Mapping};
-use tie_metrics::evaluate;
-use tie_partition::{partition, PartitionConfig};
-use tie_timer::{enhance_mapping, TimerConfig};
-use tie_topology::{recognize_partial_cube, Topology};
-use tie_trace::{TraceHandle, TraceLevel};
+use tie_mapd::cli::{flag_value, has_flag, parsed_flag, trace_from_flags};
+use tie_mapd::protocol::{GraphSource, MapRequest, MapResponse, Response, ShutdownMode};
+use tie_mapd::{Service, ServiceOptions};
 
 const USAGE: &str = "usage: map_file --graph FILE --topology NAME \
      [--case c1|c2|c3|c4] [--nh N] [--eps F] [--seed N] [--threads N] \
-     [--batch N] [--deadline-ms N] [--out PATH] [--trace-out PATH|-] \
-     [--trace-level off|gate|phase|debug]";
+     [--batch N] [--deadline-ms N] [--out PATH] [--json] \
+     [--client SOCKET [--ping | --shutdown [--shutdown-mode drain|cancel]]] \
+     [--trace-out PATH|-] [--trace-level off|gate|phase|debug]";
 
-fn parse_topology(spec: &str) -> Result<Topology, String> {
-    let lower = spec.to_lowercase();
-    let dims = |s: &str| -> Vec<usize> { s.split('x').filter_map(|t| t.parse().ok()).collect() };
-    if let Some(rest) = lower.strip_prefix("grid") {
-        let d = dims(rest);
-        return match d.len() {
-            2 => Ok(Topology::grid2d(d[0], d[1])),
-            3 => Ok(Topology::grid3d(d[0], d[1], d[2])),
-            _ => Err(format!("grid topology needs 2 or 3 extents, got {spec:?}")),
-        };
-    }
-    if let Some(rest) = lower.strip_prefix("torus") {
-        let d = dims(rest);
-        return match d.len() {
-            2 => Ok(Topology::torus2d(d[0], d[1])),
-            3 => Ok(Topology::torus3d(d[0], d[1], d[2])),
-            _ => Err(format!("torus topology needs 2 or 3 extents, got {spec:?}")),
-        };
-    }
-    if let Some(rest) = lower.strip_prefix("hypercube") {
-        let d = rest
-            .parse()
-            .map_err(|_| format!("hypercube needs a dimension, got {rest:?}"))?;
-        return Ok(Topology::hypercube(d));
-    }
-    if let Some(rest) = lower.strip_prefix("tree") {
-        let n = rest
-            .parse()
-            .map_err(|_| format!("tree needs a vertex count, got {rest:?}"))?;
-        return Ok(Topology::binary_tree(n));
-    }
-    if let Some(rest) = lower.strip_prefix("path") {
-        let n = rest
-            .parse()
-            .map_err(|_| format!("path needs a vertex count, got {rest:?}"))?;
-        return Ok(Topology::path(n));
-    }
-    Err(format!("unknown topology {spec:?}"))
-}
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-}
-
-fn parsed_flag<T: FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
-    match flag_value(args, flag) {
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("{flag} needs a valid value, got {v:?}")),
-        None => Ok(default),
-    }
-}
-
-fn run(args: &[String]) -> Result<(), String> {
-    let graph_path = flag_value(args, "--graph");
-    let topology_spec = flag_value(args, "--topology").unwrap_or("grid8x8");
-    let nh: usize = parsed_flag(args, "--nh", 50)?;
-    let eps: f64 = parsed_flag(args, "--eps", 0.03)?;
+fn build_request(args: &[String]) -> Result<MapRequest, String> {
     let seed: u64 = parsed_flag(args, "--seed", 1)?;
-    let case = flag_value(args, "--case").unwrap_or("c2");
     let threads: usize = parsed_flag(args, "--threads", 1)?;
     if threads == 0 {
         return Err("--threads must be at least 1".to_string());
     }
-    let batch: usize = parsed_flag(args, "--batch", 0)?;
-    let deadline_ms: u64 = parsed_flag(args, "--deadline-ms", 0)?;
-    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-    let out = flag_value(args, "--out");
-    let trace = match flag_value(args, "--trace-out") {
-        Some(path) => {
-            let level = match flag_value(args, "--trace-level") {
-                Some(v) => TraceLevel::parse(v).ok_or_else(|| {
-                    format!("--trace-level needs off|gate|phase|debug, got {v:?}")
-                })?,
-                None => TraceLevel::Phase,
-            };
-            make_trace_handle(path, level)?
-        }
-        None => TraceHandle::off(),
-    };
-    let faults = FaultHandle::from_env().map_err(|e| format!("invalid TIE_FAULTS: {e}"))?;
-
-    // Load the application graph; without --graph a demo network is used so
-    // the binary is runnable out of the box.
-    let ga = match graph_path {
-        Some(path) => {
-            if path.ends_with(".metis") || path.ends_with(".graph") {
-                io::read_metis(path)
-                    .map_err(|e| format!("cannot read METIS graph {path:?}: {e}"))?
-            } else {
-                io::read_edge_list(path)
-                    .map_err(|e| format!("cannot read edge list {path:?}: {e}"))?
-            }
-        }
+    // Without --graph a demo network is generated so the binary is runnable
+    // out of the box. It travels inline even in client mode, so local and
+    // served runs rebuild the identical graph.
+    let graph = match flag_value(args, "--graph") {
+        Some(path) => GraphSource::Path(path.to_string()),
         None => {
             eprintln!("no --graph given; using a demo Barabási–Albert network with 4096 vertices");
-            tie_graph::generators::barabasi_albert(4096, 4, seed)
+            let g = tie_graph::generators::barabasi_albert(4096, 4, seed);
+            GraphSource::Inline {
+                num_vertices: g.num_vertices(),
+                edges: g.edges().collect(),
+            }
         }
     };
-    let topo = parse_topology(topology_spec)?;
-    eprintln!(
-        "application graph: {} vertices, {} edges; topology: {} ({} PEs)",
-        ga.num_vertices(),
-        ga.num_edges(),
-        topo.name,
-        topo.num_pes()
-    );
+    Ok(MapRequest {
+        graph,
+        topology: flag_value(args, "--topology")
+            .unwrap_or("grid8x8")
+            .to_string(),
+        case: flag_value(args, "--case").unwrap_or("c2").to_string(),
+        nh: parsed_flag(args, "--nh", 50)?,
+        eps: parsed_flag(args, "--eps", 0.03)?,
+        seed,
+        threads,
+        batch: parsed_flag(args, "--batch", 0)?,
+        deadline_ms: parsed_flag(args, "--deadline-ms", 0)?,
+    })
+}
 
-    let experiment_case = match case {
-        "c1" => Some(ExperimentCase::C1Drb),
-        "c2" => None, // handled inline below (identity), keeps timing simple
-        "c3" => Some(ExperimentCase::C3GreedyAllC),
-        "c4" => Some(ExperimentCase::C4GreedyMin),
-        other => return Err(format!("unknown case {other:?} (use c1|c2|c3|c4)")),
-    };
-
-    let timer_cfg = || {
-        let mut cfg = TimerConfig::new(nh, seed)
-            .with_threads(threads)
-            .with_batch(batch)
-            .with_trace(trace.clone())
-            .with_faults(faults.clone());
-        if let Some(d) = deadline {
-            cfg = cfg.with_deadline(d);
-        }
-        cfg
-    };
-    let (initial, enhanced): (Mapping, Mapping) = match experiment_case {
-        Some(c) => {
-            let config = ExperimentConfig {
-                num_hierarchies: nh,
-                epsilon: eps,
-                seed,
-                threads,
-                batch,
-                trace: trace.clone(),
-                deadline,
-                faults: faults.clone(),
-            };
-            let result = run_case(&ga, &topo, c, &config).map_err(|e| e.to_string())?;
-            eprintln!(
-                "case {}: Coco {} -> {} ({} accepted hierarchies, stop: {})",
-                c.id(),
-                result.initial.coco,
-                result.enhanced.coco,
-                result.hierarchies_accepted,
-                result.stop_reason
-            );
-            // Re-run the pipeline pieces to obtain the mappings themselves.
-            let part = partition(
-                &ga,
-                &PartitionConfig {
-                    epsilon: eps,
-                    ..PartitionConfig::new(topo.num_pes(), seed)
-                },
-            );
-            let initial = match c {
-                ExperimentCase::C1Drb => {
-                    tie_mapping::drb::drb_mapping(&ga, &part, &topo.graph, seed)
-                }
-                ExperimentCase::C3GreedyAllC => {
-                    tie_mapping::greedy::greedy_allc_mapping(&ga, &part, &topo.graph)
-                }
-                ExperimentCase::C4GreedyMin => {
-                    tie_mapping::greedy::greedy_min_mapping(&ga, &part, &topo.graph)
-                }
-                ExperimentCase::C2Identity => identity_mapping(&part, topo.num_pes()),
-            };
-            let pcube = recognize_partial_cube(&topo.graph)
-                .map_err(|e| format!("topology {} is not a partial cube: {e}", topo.name))?;
-            let res =
-                enhance_mapping(&ga, &pcube, &initial, timer_cfg()).map_err(|e| e.to_string())?;
-            (initial, res.mapping)
-        }
-        None => {
-            let part = partition(
-                &ga,
-                &PartitionConfig {
-                    epsilon: eps,
-                    ..PartitionConfig::new(topo.num_pes(), seed)
-                },
-            );
-            let initial = identity_mapping(&part, topo.num_pes());
-            let pcube = recognize_partial_cube(&topo.graph)
-                .map_err(|e| format!("topology {} is not a partial cube: {e}", topo.name))?;
-            let res =
-                enhance_mapping(&ga, &pcube, &initial, timer_cfg()).map_err(|e| e.to_string())?;
-            (initial, res.mapping)
-        }
-    };
-
-    let before = evaluate(&ga, &topo.graph, &initial);
-    let after = evaluate(&ga, &topo.graph, &enhanced);
-    println!("{:<18} {:>14} {:>14}", "metric", "initial", "after TIMER");
-    println!("{:<18} {:>14} {:>14}", "Coco", before.coco, after.coco);
-    println!(
-        "{:<18} {:>14} {:>14}",
-        "edge cut", before.edge_cut, after.edge_cut
-    );
-    println!(
-        "{:<18} {:>14} {:>14}",
-        "congestion", before.congestion, after.congestion
-    );
-    println!(
-        "{:<18} {:>14.4} {:>14.4}",
-        "imbalance", before.imbalance, after.imbalance
-    );
-
-    if let Some(path) = out {
+/// Renders a successful map response: `--json` emits the wire form on
+/// stdout, the default prints the human-readable metric table.
+fn render(resp: &MapResponse, args: &[String]) -> Result<(), String> {
+    if has_flag(args, "--json") {
+        println!("{}", Response::Map(Box::new(resp.clone())).to_json());
+    } else {
+        eprintln!(
+            "case {}: cache {}, {} accepted hierarchies, {} swaps, stop: {}",
+            flag_value(args, "--case").unwrap_or("c2"),
+            resp.cache,
+            resp.hierarchies_accepted,
+            resp.total_swaps,
+            resp.stop_reason
+        );
+        let (b, a) = (&resp.initial, &resp.enhanced);
+        println!("{:<18} {:>14} {:>14}", "metric", "initial", "after TIMER");
+        println!("{:<18} {:>14} {:>14}", "Coco", b.coco, a.coco);
+        println!("{:<18} {:>14} {:>14}", "edge cut", b.edge_cut, a.edge_cut);
+        println!(
+            "{:<18} {:>14} {:>14}",
+            "congestion", b.congestion, a.congestion
+        );
+        println!(
+            "{:<18} {:>14.4} {:>14.4}",
+            "imbalance", b.imbalance, a.imbalance
+        );
+    }
+    if let Some(path) = flag_value(args, "--out") {
         let mut content = String::new();
-        for v in 0..enhanced.num_tasks() {
-            let _ = writeln!(content, "{}", enhanced.pe_of(v as u32));
+        for &pe in &resp.mapping {
+            let _ = writeln!(content, "{pe}");
         }
         std::fs::write(path, content).map_err(|e| format!("cannot write {path:?}: {e}"))?;
         eprintln!("wrote vertex-to-PE assignment to {path}");
     }
     Ok(())
+}
+
+#[cfg(unix)]
+fn run_client(socket: &str, args: &[String], faults: FaultHandle) -> Result<(), String> {
+    use tie_mapd::client::Client;
+    use tie_mapd::protocol::Request;
+
+    let mut client =
+        Client::connect(std::path::Path::new(socket), faults).map_err(|e| e.to_string())?;
+    let request = if has_flag(args, "--ping") {
+        Request::Ping
+    } else if has_flag(args, "--shutdown") {
+        let mode = match flag_value(args, "--shutdown-mode") {
+            Some(m) => ShutdownMode::parse(m)
+                .ok_or_else(|| format!("--shutdown-mode needs drain|cancel, got {m:?}"))?,
+            None => ShutdownMode::Drain,
+        };
+        Request::Shutdown { mode }
+    } else {
+        Request::Map(Box::new(build_request(args)?))
+    };
+    match client.request(&request).map_err(|e| e.to_string())? {
+        Response::Map(resp) => render(&resp, args),
+        Response::Pong { in_flight, cache } => {
+            println!(
+                "{{\"status\": \"ok\", \"kind\": \"pong\", \"in_flight\": {}, \"cache\": \
+                 {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}}}}}",
+                in_flight, cache.entries, cache.hits, cache.misses, cache.evictions
+            );
+            Ok(())
+        }
+        Response::ShuttingDown { mode } => {
+            eprintln!("daemon shutting down ({mode})");
+            Ok(())
+        }
+        Response::Error { message } => Err(message),
+    }
+}
+
+#[cfg(not(unix))]
+fn run_client(_socket: &str, _args: &[String], _faults: FaultHandle) -> Result<(), String> {
+    Err("--client requires Unix-domain sockets, unavailable on this platform".to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let faults = FaultHandle::from_env().map_err(|e| format!("invalid TIE_FAULTS: {e}"))?;
+    if let Some(socket) = flag_value(args, "--client") {
+        return run_client(socket, args, faults);
+    }
+    let service = Service::new(ServiceOptions {
+        cache_capacity: 1,
+        max_inflight: 0,
+        trace: trace_from_flags(args)?,
+        faults,
+    });
+    let resp = service
+        .execute(&build_request(args)?)
+        .map_err(|e| e.to_string())?;
+    render(&resp, args)
 }
 
 fn main() -> ExitCode {

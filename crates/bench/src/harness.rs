@@ -2,12 +2,11 @@
 //! (networks × topologies × repetitions) sweep for one experimental case and
 //! aggregate the results exactly the way Section 7.1 describes.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use tie_fault::FaultHandle;
 use tie_topology::Topology;
-use tie_trace::{JsonlSink, StderrSink, TraceHandle, TraceLevel};
+use tie_trace::{TraceHandle, TraceLevel};
 
 use crate::experiment::{run_case, ExperimentCase, ExperimentConfig};
 use crate::report::{QualityRow, TimingRow};
@@ -304,16 +303,9 @@ pub fn parse_options(args: &[String]) -> Result<SweepOptions, String> {
 
 /// Builds a [`TraceHandle`] for `--trace-out`: `-` streams human-readable
 /// events to stderr, any other value is a JSONL output path. An unwritable
-/// path is reported as an `Err` instead of panicking.
-pub fn make_trace_handle(path: &str, level: TraceLevel) -> Result<TraceHandle, String> {
-    if path == "-" {
-        Ok(TraceHandle::new(Arc::new(StderrSink), level))
-    } else {
-        let sink = JsonlSink::create(path)
-            .map_err(|e| format!("cannot open trace output {path:?}: {e}"))?;
-        Ok(TraceHandle::new(Arc::new(sink), level))
-    }
-}
+/// path is reported as an `Err` instead of panicking. (Re-exported from the
+/// service crate so the daemon and the experiment binaries agree.)
+pub use tie_mapd::cli::make_trace_handle;
 
 #[cfg(test)]
 mod tests {

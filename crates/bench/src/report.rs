@@ -138,25 +138,9 @@ pub fn format_partition_times(rows: &[(String, f64, f64)], k_labels: (&str, &str
     out
 }
 
-/// Escapes a string for embedding in a JSON string literal (quotes,
-/// backslashes, and control characters; everything else passes through).
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+// The canonical JSON string escaper lives in the service crate next to the
+// protocol parser; artifacts and wire frames must agree on the encoding.
+use tie_mapd::json::escape as escape_json;
 
 /// Formats a float list as a JSON array.
 fn format_f64_list(values: &[f64]) -> String {

@@ -8,10 +8,12 @@
 //! * **worker panics** at chosen hierarchy rounds (`panic@R`, or seeded via
 //!   [`FaultPlan::with_seeded_panics`]) — exercising the driver's
 //!   panic-isolated speculation,
-//! * **IO errors** on the n-th reader operation (`io@N`) — exercising the
-//!   typed-error paths of `tie-graph::io`,
+//! * **IO errors** on the n-th counted IO operation (`io@N`) — exercising
+//!   the typed-error paths of `tie-graph::io` and the `mapd` socket framing
+//!   layer (readers and socket frames share one operation counter),
 //! * **artificial delays** at named pipeline sites (`delay:SITE=MICROS`) —
-//!   making deadline expiry deterministic in tests.
+//!   making deadline expiry deterministic in tests; the registered sites
+//!   ([`SITES`]) include the daemon's `socket_io` and `cache_build` probes.
 //!
 //! Every fault is *consumed* when it fires: a panic armed once at round `R`
 //! hits the first attempt of round `R` and lets the quarantine re-run
@@ -44,8 +46,18 @@ pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
 /// site name used anywhere in the workspace must come from this list, which
 /// `tie-lint`'s `registered-sites` rule enforces statically. The first three
 /// are the delay probes in `tie-timer`'s driver; `io` is probed by
-/// [`FaultHandle::io_fault`] before every counted reader operation.
-pub const SITES: &[&str] = &["hierarchy_build", "assemble", "delta_scan", "io"];
+/// [`FaultHandle::io_fault`] before every counted reader operation (the
+/// `mapd` socket framing layer shares that probe and its operation counter);
+/// `socket_io` delays every socket frame read/write and `cache_build` delays
+/// every per-topology cache construction in `mapd`.
+pub const SITES: &[&str] = &[
+    "hierarchy_build",
+    "assemble",
+    "delta_scan",
+    "io",
+    "socket_io",
+    "cache_build",
+];
 
 /// A deterministic fault schedule. Build one with the combinators below or
 /// parse the `TIE_FAULTS` grammar with [`FaultPlan::parse`]; activate it by

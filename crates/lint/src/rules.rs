@@ -27,7 +27,8 @@ pub const RESULT_AFFECTING_CRATES: &[&str] = &[
 ];
 
 /// Library crates held to the no-panic taxonomy of PR 7: the result-affecting
-/// set plus the observability/chaos substrate and the lint itself.
+/// set plus the observability/chaos substrate, the `mapd` service layer and
+/// the lint itself.
 pub const NO_PANIC_CRATES: &[&str] = &[
     "graph",
     "timer",
@@ -38,11 +39,14 @@ pub const NO_PANIC_CRATES: &[&str] = &[
     "trace",
     "fault",
     "lint",
+    "mapd",
 ];
 
 /// Crates allowed to read the wall clock freely: the bench harness times
-/// things by definition, and `tie-trace` owns the trace-timestamp epoch.
-pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench", "trace"];
+/// things by definition, `tie-trace` owns the trace-timestamp epoch, and
+/// `mapd` anchors request deadlines and serve-phase spans on real time
+/// (its wall-clock reads gate *when* work stops, never what is computed).
+pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench", "trace", "mapd"];
 
 /// Rule identifiers as they appear in findings and allow directives.
 pub const RULE_UNORDERED: &str = "no-unordered-iteration";
@@ -492,6 +496,9 @@ mod tests {
         assert!(c.check_panic && !c.check_fault_sites);
         let c = class_for("crates/trace/src/lib.rs");
         assert!(!c.check_wallclock && c.check_panic);
+        let c = class_for("crates/mapd/src/service.rs");
+        assert!(!c.check_unordered && c.check_panic && !c.check_wallclock);
+        assert!(c.check_sites && c.check_fault_sites && c.check_phase_names);
     }
 
     #[test]

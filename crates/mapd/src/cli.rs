@@ -1,0 +1,103 @@
+//! Small flag-parsing helpers shared by `mapd` and the `map_file` CLI.
+//!
+//! Nothing here panics: malformed flags surface as `Err(String)` so binaries
+//! can print the message plus their usage line and exit with code 2.
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use tie_trace::{JsonlSink, StderrSink, TraceHandle, TraceLevel};
+
+/// The value following `flag`, if present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Whether `flag` appears at all (valueless switches like `--json`).
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses the value of `flag`, falling back to `default` when absent.
+///
+/// # Errors
+/// A one-line message naming the flag and the unparsable value.
+pub fn parsed_flag<T: FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} needs a valid value, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+/// Builds a [`TraceHandle`] for `--trace-out`: `-` streams human-readable
+/// events to stderr, any other value is a JSONL output path.
+///
+/// # Errors
+/// An unwritable path is reported as an `Err` instead of panicking.
+pub fn make_trace_handle(path: &str, level: TraceLevel) -> Result<TraceHandle, String> {
+    if path == "-" {
+        Ok(TraceHandle::new(Arc::new(StderrSink), level))
+    } else {
+        let sink = JsonlSink::create(path)
+            .map_err(|e| format!("cannot open trace output {path:?}: {e}"))?;
+        Ok(TraceHandle::new(Arc::new(sink), level))
+    }
+}
+
+/// Resolves `--trace-out PATH|-` and `--trace-level off|gate|phase|debug`
+/// into a handle: off when no `--trace-out` is given, level `phase` by
+/// default when it is.
+///
+/// # Errors
+/// Unknown levels and unwritable paths.
+pub fn trace_from_flags(args: &[String]) -> Result<TraceHandle, String> {
+    match flag_value(args, "--trace-out") {
+        Some(path) => {
+            let level = match flag_value(args, "--trace-level") {
+                Some(v) => TraceLevel::parse(v).ok_or_else(|| {
+                    format!("--trace-level needs off|gate|phase|debug, got {v:?}")
+                })?,
+                None => TraceLevel::Phase,
+            };
+            make_trace_handle(path, level)
+        }
+        None => Ok(TraceHandle::off()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_helpers_parse_and_default() {
+        let a = args(&["--nh", "12", "--json"]);
+        assert_eq!(flag_value(&a, "--nh"), Some("12"));
+        assert_eq!(flag_value(&a, "--seed"), None);
+        assert!(has_flag(&a, "--json"));
+        assert!(!has_flag(&a, "--client"));
+        assert_eq!(parsed_flag(&a, "--nh", 50usize).unwrap(), 12);
+        assert_eq!(parsed_flag(&a, "--seed", 7u64).unwrap(), 7);
+        assert!(parsed_flag::<usize>(&args(&["--nh", "x"]), "--nh", 1).is_err());
+    }
+
+    #[test]
+    fn trace_flags_resolve() {
+        assert!(!trace_from_flags(&args(&[]))
+            .unwrap()
+            .enabled(TraceLevel::Gate));
+        let h = trace_from_flags(&args(&["--trace-out", "-"])).unwrap();
+        assert!(h.enabled(TraceLevel::Phase));
+        assert!(!h.enabled(TraceLevel::Debug));
+        assert!(trace_from_flags(&args(&["--trace-out", "-", "--trace-level", "bogus"])).is_err());
+    }
+}

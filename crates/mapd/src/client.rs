@@ -1,0 +1,79 @@
+//! The client half of the protocol: connect to a running `mapd` socket and
+//! exchange framed requests. Used by `map_file --client` and the tests.
+
+use std::io::{self, BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use tie_fault::FaultHandle;
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// Why a client exchange failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket itself failed (connect, read, write).
+    Io(io::Error),
+    /// The daemon replied with something that is not a valid response frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client. One request/response pair per [`Client::request`]
+/// call; the connection stays open across calls.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+    faults: FaultHandle,
+}
+
+impl Client {
+    /// Connects to the daemon socket at `path`. The fault handle drives the
+    /// same `socket_io`/`io@N` sites as the server side, so client-side
+    /// socket faults are injectable in tests and smoke runs.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(path: &Path, faults: FaultHandle) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client {
+            reader,
+            writer,
+            faults,
+        })
+    }
+
+    /// Sends `req` and waits for the daemon's response frame.
+    ///
+    /// # Errors
+    /// Socket failures, a connection closed before any response, or an
+    /// unparsable response payload.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.to_json(), &self.faults)?;
+        match read_frame(&mut self.reader, &self.faults)? {
+            Some(payload) => Response::from_json(&payload).map_err(ClientError::Protocol),
+            None => Err(ClientError::Protocol(
+                "connection closed before response".to_string(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Topology descriptor parsing: the textual names requests and CLI flags
+//! use (`grid16x16`, `torus4x4x4`, `hypercube6`, `tree127`, `path64`),
+//! resolved to concrete [`Topology`] instances. The canonical
+//! `Topology::name` the builders generate is what keys the per-topology
+//! cache, so two spellings of the same topology (`GRID4x4`, `grid4x4`)
+//! share one cache entry.
+
+use tie_topology::Topology;
+
+/// Parses a topology descriptor.
+///
+/// # Errors
+/// A one-line message naming the offending descriptor.
+pub fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let lower = spec.to_lowercase();
+    let dims = |s: &str| -> Vec<usize> { s.split('x').filter_map(|t| t.parse().ok()).collect() };
+    if let Some(rest) = lower.strip_prefix("grid") {
+        let d = dims(rest);
+        return match d.len() {
+            2 => Ok(Topology::grid2d(d[0], d[1])),
+            3 => Ok(Topology::grid3d(d[0], d[1], d[2])),
+            _ => Err(format!("grid topology needs 2 or 3 extents, got {spec:?}")),
+        };
+    }
+    if let Some(rest) = lower.strip_prefix("torus") {
+        let d = dims(rest);
+        return match d.len() {
+            2 => Ok(Topology::torus2d(d[0], d[1])),
+            3 => Ok(Topology::torus3d(d[0], d[1], d[2])),
+            _ => Err(format!("torus topology needs 2 or 3 extents, got {spec:?}")),
+        };
+    }
+    if let Some(rest) = lower.strip_prefix("hypercube") {
+        let d = rest
+            .parse()
+            .map_err(|_| format!("hypercube needs a dimension, got {rest:?}"))?;
+        return Ok(Topology::hypercube(d));
+    }
+    if let Some(rest) = lower.strip_prefix("tree") {
+        let n = rest
+            .parse()
+            .map_err(|_| format!("tree needs a vertex count, got {rest:?}"))?;
+        return Ok(Topology::binary_tree(n));
+    }
+    if let Some(rest) = lower.strip_prefix("path") {
+        let n = rest
+            .parse()
+            .map_err(|_| format!("path needs a vertex count, got {rest:?}"))?;
+        return Ok(Topology::path(n));
+    }
+    Err(format!("unknown topology {spec:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_families() {
+        assert_eq!(parse_topology("grid4x4").unwrap().num_pes(), 16);
+        assert_eq!(parse_topology("grid2x2x2").unwrap().num_pes(), 8);
+        assert_eq!(parse_topology("torus4x4").unwrap().num_pes(), 16);
+        assert_eq!(parse_topology("hypercube3").unwrap().num_pes(), 8);
+        assert_eq!(parse_topology("path5").unwrap().num_pes(), 5);
+        assert!(parse_topology("tree7").is_ok());
+    }
+
+    #[test]
+    fn spellings_share_one_canonical_name() {
+        let a = parse_topology("GRID4x4").unwrap();
+        let b = parse_topology("grid4x4").unwrap();
+        assert_eq!(a.name, b.name);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse_topology("klein4").is_err());
+        assert!(parse_topology("grid4").is_err());
+        assert!(parse_topology("hypercubeX").is_err());
+    }
+}

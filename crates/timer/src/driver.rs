@@ -28,10 +28,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use crossbeam::thread;
 
 use tie_fault::FaultHandle;
@@ -42,6 +38,7 @@ use tie_topology::PartialCubeLabeling;
 use tie_trace::{Phase, PhaseTimes, TraceEvent, TraceHandle};
 
 use crate::assemble::assemble_labels;
+use crate::context::TopologyContext;
 use crate::error::{StopReason, TieError};
 use crate::hierarchy::{build_hierarchy_traced, HierarchyScratch};
 use crate::labeling::Labeling;
@@ -133,8 +130,30 @@ impl Timer {
         pcube: &PartialCubeLabeling,
         initial: &Mapping,
     ) -> Result<TimerResult, TieError> {
+        // Thin wrapper over the context-borrowing entry point: a transient
+        // context built from a clone of the labeling. Pinned byte-identical
+        // to `enhance_with_context` by the driver tests.
+        self.enhance_with_context(graph, &TopologyContext::new(pcube.clone()), initial)
+    }
+
+    /// [`Timer::enhance`] over borrowed per-topology state: the partial-cube
+    /// labeling, memoized permutation streams and scratch sizing hints come
+    /// from `ctx` instead of being rebuilt per call. This is the entry point
+    /// a long-running service uses with a cached [`TopologyContext`]; the
+    /// result is byte-identical to [`Timer::enhance`] for the same inputs —
+    /// a context is a latency optimization, never a correctness dependency.
+    ///
+    /// # Errors
+    /// Same contract as [`Timer::enhance`].
+    pub fn enhance_with_context(
+        &self,
+        graph: &Graph,
+        ctx: &TopologyContext,
+        initial: &Mapping,
+    ) -> Result<TimerResult, TieError> {
         let cfg = &self.config;
         cfg.validate()?;
+        let pcube = ctx.pcube();
         // tie-lint: allow(no-wallclock) — deadline anchor and telemetry total; never read by the algorithm
         let start = Instant::now();
         let deadline = cfg.deadline.map(|d| start + d);
@@ -167,16 +186,10 @@ impl Timer {
         });
 
         // Line 6 for all rounds up front: the permutation stream depends only
-        // on the seed, never on the batching schedule, so every
-        // (threads, batch) setting sees identical hierarchies.
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x51ed_270b));
-        let perms: Vec<Vec<usize>> = (0..cfg.num_hierarchies)
-            .map(|_| {
-                let mut perm: Vec<usize> = (0..dim).collect();
-                perm.shuffle(&mut rng);
-                perm
-            })
-            .collect();
+        // on `(seed, dim, NH)`, never on the batching schedule, so every
+        // (threads, batch) setting — and every cache disposition — sees
+        // identical hierarchies. The context memoizes the stream across runs.
+        let perms = ctx.permutations(cfg.seed, dim, cfg.num_hierarchies);
 
         let mut total_swaps = 0usize;
         let mut total_repaired = 0usize;
@@ -201,9 +214,13 @@ impl Timer {
         // so the allocation set of the hot path is paid once per `enhance`
         // call instead of once per level per round. Scratch contents never
         // influence results (pinned by the contraction-equivalence proptest),
-        // so the byte-identity guarantee is untouched.
+        // so the byte-identity guarantee is untouched. The context's sizing
+        // hint (high-water vertex count of earlier runs) pre-sizes the
+        // buffers so a warm-context run skips the growth reallocations too.
+        ctx.note_vertices(graph.num_vertices());
+        let scratch_hint = ctx.scratch_vertices_hint();
         let mut scratches: Vec<HierarchyScratch> =
-            std::iter::repeat_with(HierarchyScratch::default)
+            std::iter::repeat_with(|| HierarchyScratch::with_vertex_capacity(scratch_hint))
                 .take(threads)
                 .collect();
 
@@ -747,6 +764,37 @@ mod tests {
         let b = enhance_mapping(&ga, &pcube, &mapping, TimerConfig::new(5, 11)).unwrap();
         assert_eq!(a.mapping, b.mapping);
         assert_eq!(a.final_coco, b.final_coco);
+    }
+
+    #[test]
+    fn enhance_with_context_is_byte_identical_to_enhance() {
+        // The context split's headline contract: a shared, reused
+        // `TopologyContext` (memoized perm streams, warm scratch hints) must
+        // never change result bytes — cold context, warm context and the
+        // plain `enhance` wrapper all walk the identical trajectory.
+        let (ga, topo, pcube, mapping) = fixture(7);
+        let timer = Timer::new(TimerConfig::new(10, 7).with_threads(2));
+        let direct = timer.enhance(&ga, &pcube, &mapping).unwrap();
+        let ctx = TopologyContext::recognize(&topo.graph).unwrap();
+        let cold = timer.enhance_with_context(&ga, &ctx, &mapping).unwrap();
+        assert!(
+            ctx.scratch_vertices_hint() >= ga.num_vertices(),
+            "the first run must warm the context's sizing hint"
+        );
+        let warm = timer.enhance_with_context(&ga, &ctx, &mapping).unwrap();
+        for (label, r) in [("cold", &cold), ("warm", &warm)] {
+            assert_eq!(r.labeling.labels, direct.labeling.labels, "{label}");
+            assert_eq!(r.mapping, direct.mapping, "{label}");
+            assert_eq!(r.final_coco, direct.final_coco, "{label}");
+            assert_eq!(r.final_coco_plus, direct.final_coco_plus, "{label}");
+            assert_eq!(r.final_diversity, direct.final_diversity, "{label}");
+            assert_eq!(
+                r.hierarchies_accepted, direct.hierarchies_accepted,
+                "{label}"
+            );
+            assert_eq!(r.total_swaps, direct.total_swaps, "{label}");
+            assert_eq!(r.total_repaired, direct.total_repaired, "{label}");
+        }
     }
 
     #[test]

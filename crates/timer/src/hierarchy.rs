@@ -149,6 +149,24 @@ pub struct HierarchyScratch {
     contract: ContractScratch,
 }
 
+impl HierarchyScratch {
+    /// A scratch pre-sized for hierarchies over graphs of roughly `n`
+    /// vertices (the finest level dominates every buffer's size). Purely a
+    /// latency hint — an undersized scratch grows on first use and an
+    /// oversized one only wastes memory; results never depend on it.
+    pub fn with_vertex_capacity(n: usize) -> Self {
+        HierarchyScratch {
+            sweep: SweepScratch {
+                keyed: Vec::with_capacity(n),
+                pairs: Vec::with_capacity(n / 2),
+            },
+            prefixes: Vec::with_capacity(n),
+            sorted_set: Vec::with_capacity(n),
+            contract: ContractScratch::default(),
+        }
+    }
+}
+
 /// Contracts every candidate pair (vertices sharing all but the last label
 /// digit) into a single coarse vertex and cuts the last digit off every
 /// label. Unpaired vertices are carried over unchanged (minus the digit).

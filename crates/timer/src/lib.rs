@@ -24,6 +24,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod assemble;
+pub mod context;
 pub mod driver;
 pub mod error;
 pub mod hierarchy;
@@ -33,6 +34,7 @@ pub mod parallel;
 pub mod refinement;
 pub mod telemetry;
 
+pub use context::TopologyContext;
 pub use driver::{enhance_mapping, Timer, TimerResult};
 pub use error::{CancelToken, StopReason, TieError};
 pub use labeling::Labeling;

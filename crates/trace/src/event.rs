@@ -74,6 +74,23 @@ pub enum TraceEvent {
         /// Speculation depth that produced the batch.
         depth: usize,
     },
+    /// The `mapd` per-topology cache ruled on one lookup. `key` is the
+    /// canonical topology name (builder-generated, identifier-like — no
+    /// JSON escaping needed), the counters are cumulative since daemon start.
+    Cache {
+        /// Canonical topology name the lookup was keyed by.
+        key: String,
+        /// "hit" or "miss".
+        disposition: &'static str,
+        /// Entries resident after the lookup.
+        entries: usize,
+        /// Cumulative cache hits.
+        hits: u64,
+        /// Cumulative cache misses (context constructions).
+        misses: u64,
+        /// Cumulative evictions at capacity.
+        evictions: u64,
+    },
     /// A `Timer::enhance` run finished.
     RunEnd {
         /// `Coco` of the final labeling.
@@ -102,9 +119,9 @@ impl TraceEvent {
                 TraceLevel::Gate
             }
             TraceEvent::Phase { level: Some(_), .. } => TraceLevel::Debug,
-            TraceEvent::Phase { level: None, .. } | TraceEvent::Speculation { .. } => {
-                TraceLevel::Phase
-            }
+            TraceEvent::Phase { level: None, .. }
+            | TraceEvent::Speculation { .. }
+            | TraceEvent::Cache { .. } => TraceLevel::Phase,
         }
     }
 
@@ -115,6 +132,7 @@ impl TraceEvent {
             TraceEvent::Gate { .. } => "gate",
             TraceEvent::Phase { .. } => "phase",
             TraceEvent::Speculation { .. } => "speculation",
+            TraceEvent::Cache { .. } => "cache",
             TraceEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -187,6 +205,21 @@ impl TraceEvent {
                     ", \"first_round\": {first_round}, \"batch_len\": {batch_len}, \
                      \"committed\": {committed}, \"invalidated\": {invalidated}, \
                      \"depth\": {depth}"
+                );
+            }
+            TraceEvent::Cache {
+                key,
+                disposition,
+                entries,
+                hits,
+                misses,
+                evictions,
+            } => {
+                let _ = write!(
+                    s,
+                    ", \"key\": \"{key}\", \"disposition\": \"{disposition}\", \
+                     \"entries\": {entries}, \"hits\": {hits}, \"misses\": {misses}, \
+                     \"evictions\": {evictions}"
                 );
             }
             TraceEvent::RunEnd {
@@ -279,6 +312,20 @@ impl TraceEvent {
                     if *invalidated { " INVALIDATED" } else { "" }
                 );
             }
+            TraceEvent::Cache {
+                key,
+                disposition,
+                entries,
+                hits,
+                misses,
+                evictions,
+            } => {
+                let _ = write!(
+                    s,
+                    "cache {disposition}: key={key} entries={entries} \
+                     hits={hits} misses={misses} evictions={evictions}"
+                );
+            }
             TraceEvent::RunEnd {
                 final_coco,
                 final_div,
@@ -353,6 +400,15 @@ mod tests {
                 stop_reason: "completed",
                 worker_panics: 0,
             },
+            // Appended (not inserted): `event_levels` indexes positionally.
+            TraceEvent::Cache {
+                key: "grid4x4".to_string(),
+                disposition: "miss",
+                entries: 1,
+                hits: 0,
+                misses: 1,
+                evictions: 0,
+            },
         ]
     }
 
@@ -416,6 +472,26 @@ mod tests {
         assert_eq!(events[3].level(), TraceLevel::Phase); // round-level phase
         assert_eq!(events[4].level(), TraceLevel::Phase); // speculation
         assert_eq!(events[5].level(), TraceLevel::Gate); // run_end
+        assert_eq!(events[6].level(), TraceLevel::Phase); // cache
+    }
+
+    #[test]
+    fn cache_json_payload() {
+        let e = TraceEvent::Cache {
+            key: "torus4x4".to_string(),
+            disposition: "hit",
+            entries: 2,
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+        };
+        let json = e.to_json(0, 0);
+        assert!(json.contains("\"event\": \"cache\""));
+        assert!(json.contains("\"key\": \"torus4x4\""));
+        assert!(json.contains("\"disposition\": \"hit\""));
+        assert!(json.contains("\"entries\": 2"));
+        assert!(json.contains("\"evictions\": 1"));
+        assert!(e.to_human(0, 0).contains("cache hit"));
     }
 
     #[test]

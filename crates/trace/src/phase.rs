@@ -19,11 +19,17 @@ pub enum Phase {
     /// Committing a speculation batch against the live accept gate
     /// (including invalidation handling).
     Commit,
+    /// One `mapd` daemon request served end to end (parse, admission,
+    /// enhancement, response serialization).
+    Serve,
+    /// Per-topology cache context construction (partial-cube recognition on
+    /// a cache miss; hits never enter this phase).
+    Cache,
 }
 
 impl Phase {
     /// Number of phases (size of [`PhaseTimes`]' backing array).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// All phases, in reporting order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -33,6 +39,8 @@ impl Phase {
         Phase::Assemble,
         Phase::DeltaScan,
         Phase::Commit,
+        Phase::Serve,
+        Phase::Cache,
     ];
 
     /// Stable snake_case name used in JSONL events and JSON reports.
@@ -44,6 +52,8 @@ impl Phase {
             Phase::Assemble => "assemble",
             Phase::DeltaScan => "delta_scan",
             Phase::Commit => "commit",
+            Phase::Serve => "serve",
+            Phase::Cache => "cache",
         }
     }
 
@@ -63,6 +73,8 @@ impl Phase {
             Phase::Assemble => 3,
             Phase::DeltaScan => 4,
             Phase::Commit => 5,
+            Phase::Serve => 6,
+            Phase::Cache => 7,
         }
     }
 }
